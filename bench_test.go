@@ -1,0 +1,139 @@
+package sdf
+
+import (
+	"testing"
+
+	"sdf/internal/experiments"
+)
+
+// The benchmarks below regenerate every table and figure of the
+// paper's evaluation (and the ablations from DESIGN.md §5). Each
+// iteration runs the full experiment in quick mode and logs the
+// resulting table, so
+//
+//	go test -bench=. -benchmem
+//
+// produces the complete paper-versus-measured comparison. Use
+// cmd/sdfbench (without -quick) for longer, more stable windows.
+
+func benchExperiment(b *testing.B, run func(experiments.Options) experiments.Table) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tab := run(experiments.Options{Quick: true})
+		if i == 0 {
+			b.Log("\n" + tab.String())
+		}
+	}
+}
+
+// BenchmarkTable1CommoditySSD regenerates Table 1 (E1).
+func BenchmarkTable1CommoditySSD(b *testing.B) {
+	benchExperiment(b, experiments.Table1)
+}
+
+// BenchmarkFigure1OverProvisioning regenerates Figure 1 (E2).
+func BenchmarkFigure1OverProvisioning(b *testing.B) {
+	benchExperiment(b, experiments.Figure1)
+}
+
+// BenchmarkTable4Microbench regenerates Table 4 (E3).
+func BenchmarkTable4Microbench(b *testing.B) {
+	benchExperiment(b, experiments.Table4)
+}
+
+// BenchmarkFigure7ChannelScaling regenerates Figure 7 (E4).
+func BenchmarkFigure7ChannelScaling(b *testing.B) {
+	benchExperiment(b, experiments.Figure7)
+}
+
+// BenchmarkFigure8WriteLatency regenerates Figure 8 (E5).
+func BenchmarkFigure8WriteLatency(b *testing.B) {
+	benchExperiment(b, experiments.Figure8)
+}
+
+// BenchmarkFigure10OneSlice regenerates Figure 10 (E6).
+func BenchmarkFigure10OneSlice(b *testing.B) {
+	benchExperiment(b, experiments.Figure10)
+}
+
+// BenchmarkFigure11MultiSlice regenerates Figure 11 (E7).
+func BenchmarkFigure11MultiSlice(b *testing.B) {
+	benchExperiment(b, experiments.Figure11)
+}
+
+// BenchmarkFigure12RequestSize regenerates Figure 12 (E8).
+func BenchmarkFigure12RequestSize(b *testing.B) {
+	benchExperiment(b, experiments.Figure12)
+}
+
+// BenchmarkFigure13SequentialRead regenerates Figure 13 (E9).
+func BenchmarkFigure13SequentialRead(b *testing.B) {
+	benchExperiment(b, experiments.Figure13)
+}
+
+// BenchmarkFigure14WriteCompaction regenerates Figure 14 (E10).
+func BenchmarkFigure14WriteCompaction(b *testing.B) {
+	benchExperiment(b, experiments.Figure14)
+}
+
+// BenchmarkSoftwareStackLatency regenerates the §2.4/§4.3 comparison (E11).
+func BenchmarkSoftwareStackLatency(b *testing.B) {
+	benchExperiment(b, experiments.SoftwareStack)
+}
+
+// BenchmarkEraseThroughput regenerates the §3.2 erase-rate aside (E12).
+func BenchmarkEraseThroughput(b *testing.B) {
+	benchExperiment(b, experiments.EraseThroughput)
+}
+
+// BenchmarkAblationStripeUnit probes design choice A1.
+func BenchmarkAblationStripeUnit(b *testing.B) {
+	benchExperiment(b, experiments.AblationStripeUnit)
+}
+
+// BenchmarkAblationWriteBuffer probes design choice A2.
+func BenchmarkAblationWriteBuffer(b *testing.B) {
+	benchExperiment(b, experiments.AblationWriteBuffer)
+}
+
+// BenchmarkAblationEraseScheduling probes design choice A3.
+func BenchmarkAblationEraseScheduling(b *testing.B) {
+	benchExperiment(b, experiments.AblationEraseScheduling)
+}
+
+// BenchmarkAblationSDFOverProvision probes design choice A4.
+func BenchmarkAblationSDFOverProvision(b *testing.B) {
+	benchExperiment(b, experiments.AblationSDFOverProvision)
+}
+
+// BenchmarkAblationInterruptMerging probes design choice A5.
+func BenchmarkAblationInterruptMerging(b *testing.B) {
+	benchExperiment(b, experiments.AblationInterruptMerging)
+}
+
+// BenchmarkAblationParity probes design choice A6.
+func BenchmarkAblationParity(b *testing.B) {
+	benchExperiment(b, experiments.AblationParity)
+}
+
+// BenchmarkAblationStaticWL probes design choice A7.
+func BenchmarkAblationStaticWL(b *testing.B) {
+	benchExperiment(b, experiments.AblationStaticWL)
+}
+
+// BenchmarkFutureWorkReadPriority evaluates the read-over-write
+// scheduling the paper plans (§5).
+func BenchmarkFutureWorkReadPriority(b *testing.B) {
+	benchExperiment(b, experiments.FutureWorkReadPriority)
+}
+
+// BenchmarkFutureWorkPlacement evaluates load-balance-aware write
+// placement (§3.3.1).
+func BenchmarkFutureWorkPlacement(b *testing.B) {
+	benchExperiment(b, experiments.FutureWorkPlacement)
+}
+
+// BenchmarkFutureWorkActiveScan evaluates in-storage filtering (§5).
+func BenchmarkFutureWorkActiveScan(b *testing.B) {
+	benchExperiment(b, experiments.FutureWorkActiveScan)
+}

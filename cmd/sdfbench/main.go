@@ -1,0 +1,95 @@
+// Command sdfbench regenerates the SDF paper's evaluation tables and
+// figures against the simulated devices and prints them in paper-style
+// rows next to the published numbers.
+//
+// Usage:
+//
+//	sdfbench [-quick] [-list] [experiment ...]
+//
+// With no arguments every experiment runs in order. Experiment names
+// are case-insensitive: table1, figure1, table4, figure7, figure8,
+// figure10, figure11, figure12, figure13, figure14, stack, erase,
+// and the ablations (stripe, buffer, erasesched, sdfop, interrupts,
+// parity, staticwl).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sdf/internal/experiments"
+)
+
+type entry struct {
+	name string
+	desc string
+	run  func(experiments.Options) experiments.Table
+}
+
+var registry = []entry{
+	{"table1", "commodity SSD raw vs measured bandwidth", experiments.Table1},
+	{"figure1", "random-write throughput vs over-provisioning", experiments.Figure1},
+	{"table4", "device throughput by request size", experiments.Table4},
+	{"figure7", "SDF channel scaling", experiments.Figure7},
+	{"figure8", "write latency traces", experiments.Figure8},
+	{"figure10", "one slice, batched 512 KB reads", experiments.Figure10},
+	{"figure11", "4/8 slices, batched 512 KB reads", experiments.Figure11},
+	{"figure12", "request size x slice count at batch 44", experiments.Figure12},
+	{"figure13", "sequential scan vs slice count", experiments.Figure13},
+	{"figure14", "write + compaction throughput", experiments.Figure14},
+	{"stack", "kernel vs user-space I/O path cost", experiments.SoftwareStack},
+	{"erase", "SDF aggregate erase throughput", experiments.EraseThroughput},
+	{"stripe", "ablation: striping unit", experiments.AblationStripeUnit},
+	{"buffer", "ablation: DRAM write buffer", experiments.AblationWriteBuffer},
+	{"erasesched", "ablation: erase scheduling", experiments.AblationEraseScheduling},
+	{"sdfop", "ablation: over-provisioning on SDF", experiments.AblationSDFOverProvision},
+	{"interrupts", "ablation: interrupt merging", experiments.AblationInterruptMerging},
+	{"parity", "ablation: parity channels", experiments.AblationParity},
+	{"staticwl", "ablation: static wear leveling", experiments.AblationStaticWL},
+	{"readprio", "future work: reads over writes/erases", experiments.FutureWorkReadPriority},
+	{"placement", "future work: load-balanced write placement", experiments.FutureWorkPlacement},
+	{"activescan", "future work: in-storage filtered scan", experiments.FutureWorkActiveScan},
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "shorter measurement windows")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range registry {
+			fmt.Printf("%-12s %s\n", e.name, e.desc)
+		}
+		return
+	}
+	opts := experiments.Options{Quick: *quick}
+
+	want := flag.Args()
+	selected := registry
+	if len(want) > 0 {
+		selected = nil
+		for _, name := range want {
+			found := false
+			for _, e := range registry {
+				if strings.EqualFold(e.name, name) {
+					selected = append(selected, e)
+					found = true
+					break
+				}
+			}
+			if !found {
+				fmt.Fprintf(os.Stderr, "sdfbench: unknown experiment %q (try -list)\n", name)
+				os.Exit(2)
+			}
+		}
+	}
+	for _, e := range selected {
+		start := time.Now()
+		tab := e.run(opts)
+		fmt.Print(tab.String())
+		fmt.Printf("(%s in %.1fs wall)\n\n", e.name, time.Since(start).Seconds())
+	}
+}

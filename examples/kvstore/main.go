@@ -1,0 +1,102 @@
+// Kvstore runs the paper's online serving scenario: several CCDB
+// slices on one SDF-backed storage server, with batched synchronous
+// KV read requests arriving over simulated 10 GbE — the setup of
+// Figures 10-12. It prints how throughput responds to the two
+// concurrency knobs the paper identifies: slice count and batch size.
+//
+// Run with:
+//
+//	go run ./examples/kvstore
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"sdf/internal/blocklayer"
+	"sdf/internal/ccdb"
+	"sdf/internal/core"
+	"sdf/internal/rpcnet"
+	"sdf/internal/sim"
+	"sdf/internal/workload"
+)
+
+func main() {
+	const (
+		valueSize = 512 << 10 // "images" size class
+		nSlices   = 4
+	)
+
+	fmt.Println("slices  batch  throughput")
+	for _, batch := range []int{1, 8, 44} {
+		rate := run(nSlices, batch, valueSize)
+		fmt.Printf("%6d  %5d  %.0f MB/s\n", nSlices, batch, rate/1e6)
+	}
+	fmt.Println("\nThe same device, one slice, batch 1 — the pathological case")
+	fmt.Println("the paper warns about (one channel busy at a time):")
+	rate := run(1, 1, valueSize)
+	fmt.Printf("%6d  %5d  %.0f MB/s\n", 1, 1, rate/1e6)
+}
+
+// run builds a fresh storage node with the given slice count, loads
+// it, and drives batched reads from one client per slice for a few
+// simulated seconds.
+func run(nSlices, batch, valueSize int) float64 {
+	env := sim.NewEnv()
+	cfg := core.DefaultConfig()
+	cfg.Channel.Nand.BlocksPerPlane = 16
+	cfg.Channel.SparePerPlane = 2
+	dev, err := core.New(env, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	store := ccdb.NewSDFStore(blocklayer.New(env, dev, blocklayer.DefaultConfig()))
+
+	sliceCfg := ccdb.DefaultConfig()
+	sliceCfg.RunsPerTier = 64 // read-only: keep the preload settled
+	var slices []*ccdb.Slice
+	var keySets []*workload.Keys
+	perPatch := (8 << 20) / (valueSize + 64)
+	for i := 0; i < nSlices; i++ {
+		slices = append(slices, ccdb.NewSlice(env, store, sliceCfg))
+		keySets = append(keySets, workload.NewKeys(fmt.Sprintf("img%02d", i),
+			perPatch*48/nSlices, int64(i+1)))
+	}
+	boot := env.Go("preload", func(p *sim.Proc) {
+		if err := workload.PreloadParallel(p, env, slices, keySets, valueSize); err != nil {
+			log.Fatal(err)
+		}
+	})
+	env.RunUntilDone(boot)
+
+	net := rpcnet.NewNetwork(env, rpcnet.DefaultConfig())
+	deadline := env.Now() + 2*time.Second
+	var total int64
+	for i := range slices {
+		slice := slices[i]
+		keys := keySets[i]
+		client := net.NewClient()
+		env.Go("client", func(p *sim.Proc) {
+			for env.Now() < deadline {
+				subs := make([]rpcnet.SubRequest, batch)
+				for j := range subs {
+					key := keys.Pick()
+					subs[j] = func(sp *sim.Proc) int {
+						_, size, err := slice.Get(sp, key)
+						if err != nil {
+							log.Fatal(err)
+						}
+						return size
+					}
+				}
+				total += int64(client.Call(p, 256, subs))
+			}
+		})
+	}
+	start := env.Now()
+	env.RunUntil(deadline + 2*time.Second)
+	elapsed := deadline - start
+	env.Close()
+	return float64(total) / elapsed.Seconds()
+}

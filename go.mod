@@ -1,0 +1,3 @@
+module sdf
+
+go 1.23

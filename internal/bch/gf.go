@@ -1,0 +1,81 @@
+// Package bch implements binary BCH error-correcting codes over
+// GF(2^m), the per-chip data protection used by the SDF card (the
+// paper removes cross-channel parity and relies on BCH ECC plus
+// system-level replication; §2.2).
+//
+// The implementation is a textbook systematic encoder plus a
+// syndrome / Berlekamp-Massey / Chien-search decoder, supporting
+// shortened codes so a 512-byte flash sector can be protected with
+// m*t parity bits (e.g. 104 bits for m=13, t=8).
+package bch
+
+import "fmt"
+
+// field is GF(2^m) arithmetic backed by log/antilog tables.
+type field struct {
+	m    int
+	n    int // 2^m - 1, the multiplicative group order
+	log  []int
+	alog []int // alog[i] = alpha^i, duplicated to 2n for mod-free indexing
+}
+
+// primitivePolys[m] is a primitive polynomial of degree m over GF(2),
+// represented with bit i = coefficient of x^i.
+var primitivePolys = map[int]int{
+	5:  0x25,   // x^5+x^2+1
+	6:  0x43,   // x^6+x+1
+	7:  0x89,   // x^7+x^3+1
+	8:  0x11d,  // x^8+x^4+x^3+x^2+1
+	9:  0x211,  // x^9+x^4+1
+	10: 0x409,  // x^10+x^3+1
+	11: 0x805,  // x^11+x^2+1
+	12: 0x1053, // x^12+x^6+x^4+x+1
+	13: 0x201b, // x^13+x^4+x^3+x+1
+	14: 0x4443, // x^14+x^10+x^6+x+1
+}
+
+// newField builds GF(2^m) tables.
+func newField(m int) (*field, error) {
+	poly, ok := primitivePolys[m]
+	if !ok {
+		return nil, fmt.Errorf("bch: no primitive polynomial for m=%d", m)
+	}
+	f := &field{m: m, n: (1 << m) - 1}
+	f.log = make([]int, f.n+1)
+	f.alog = make([]int, 2*f.n)
+	x := 1
+	for i := 0; i < f.n; i++ {
+		f.alog[i] = x
+		f.alog[i+f.n] = x
+		f.log[x] = i
+		x <<= 1
+		if x>>m != 0 {
+			x ^= poly
+		}
+	}
+	if x != 1 {
+		return nil, fmt.Errorf("bch: polynomial %#x is not primitive for m=%d", poly, m)
+	}
+	return f, nil
+}
+
+// mul multiplies two field elements.
+func (f *field) mul(a, b int) int {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return f.alog[f.log[a]+f.log[b]]
+}
+
+// inv returns the multiplicative inverse of a nonzero element.
+func (f *field) inv(a int) int {
+	if a == 0 {
+		panic("bch: inverse of zero")
+	}
+	return f.alog[f.n-f.log[a]]
+}
+
+// pow returns alpha^e for any integer exponent e >= 0.
+func (f *field) pow(e int) int {
+	return f.alog[e%f.n]
+}

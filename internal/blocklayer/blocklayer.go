@@ -1,0 +1,269 @@
+// Package blocklayer implements the unified user-space block layer
+// that sits between CCDB's slices and the SDF device (§2.4).
+//
+// Writes arrive as fixed 8 MB blocks tagged with a unique ID (the low
+// 64 bits of the 128-bit write ID in the production system). The layer
+// hashes consecutive IDs round-robin over the device's 44 channels,
+// manages per-channel free-space (which blocks are erased and ready,
+// which still need an erase), and schedules erase commands into
+// channel idle periods so they do not delay foreground requests.
+package blocklayer
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sdf/internal/core"
+	"sdf/internal/sim"
+)
+
+// Layer errors.
+var (
+	ErrNoSpace     = errors.New("blocklayer: channel has no free blocks")
+	ErrUnknownID   = errors.New("blocklayer: no block with this ID")
+	ErrDuplicateID = errors.New("blocklayer: ID already written")
+)
+
+// BlockID identifies one 8 MB write. The production system uses
+// 128-bit IDs of which the low 64 bits are significant (§2.4); we
+// model exactly those 64 bits.
+type BlockID uint64
+
+// Handle locates a written block on the device.
+type Handle struct {
+	Channel int
+	LBN     int
+}
+
+// Placement selects how write IDs map to channels.
+type Placement int
+
+// Placement policies.
+const (
+	// PlacementHash is the production policy: consecutive IDs walk
+	// the channels round-robin (§2.4).
+	PlacementHash Placement = iota
+	// PlacementLeastLoaded picks the channel with the fewest writes
+	// in flight (ties broken by the largest pre-erased pool) — the
+	// load-balance-aware scheduler the paper names as future work
+	// (§3.3.1, §5). Reads still follow where the block was written.
+	PlacementLeastLoaded
+)
+
+// Config tunes the layer.
+type Config struct {
+	// BackgroundErase schedules erases of freed blocks into channel
+	// idle time, so writes usually find a pre-erased block. Disabling
+	// it forces every write to pay an inline erase (ablation A3).
+	BackgroundErase bool
+	// IdlePollInterval is how often the eraser re-checks a busy
+	// channel.
+	IdlePollInterval time.Duration
+	// Placement selects the write-placement policy.
+	Placement Placement
+}
+
+// DefaultConfig enables idle-time erase scheduling with the
+// production round-robin hash placement.
+func DefaultConfig() Config {
+	return Config{BackgroundErase: true, IdlePollInterval: time.Millisecond}
+}
+
+// chanState tracks free space of one channel.
+type chanState struct {
+	erased []int // erased, ready to program
+	dirty  []int // invalidated, erase pending
+	work   *sim.Signal
+}
+
+// Layer is the block layer instance bound to one SDF device.
+type Layer struct {
+	cfg      Config
+	env      *sim.Env
+	dev      *core.Device
+	chans    []*chanState
+	blocks   map[BlockID]Handle
+	inflight []int // writes in flight per channel
+
+	inlineErases     int64
+	backgroundErases int64
+	writes           int64
+	reads            int64
+}
+
+// New builds the layer; all device blocks start as dirty (needing an
+// initial erase) and the per-channel erasers start immediately.
+func New(env *sim.Env, dev *core.Device, cfg Config) *Layer {
+	if cfg.IdlePollInterval <= 0 {
+		cfg.IdlePollInterval = time.Millisecond
+	}
+	l := &Layer{
+		cfg:      cfg,
+		env:      env,
+		dev:      dev,
+		blocks:   make(map[BlockID]Handle),
+		inflight: make([]int, dev.Channels()),
+	}
+	for c := 0; c < dev.Channels(); c++ {
+		cs := &chanState{work: sim.NewSignal(env)}
+		for lbn := 0; lbn < dev.BlocksPerChannel(); lbn++ {
+			cs.dirty = append(cs.dirty, lbn)
+		}
+		l.chans = append(l.chans, cs)
+		if cfg.BackgroundErase {
+			c := c
+			env.Go(fmt.Sprintf("blocklayer/eraser.%d", c), func(p *sim.Proc) {
+				l.eraseLoop(p, c)
+			})
+			cs.work.Fire() // initial pool needs erasing
+		}
+	}
+	return l
+}
+
+// Device returns the underlying SDF device.
+func (l *Layer) Device() *core.Device { return l.dev }
+
+// ChannelOf returns the channel an ID hashes to: consecutive IDs walk
+// the channels round-robin (§2.4).
+func (l *Layer) ChannelOf(id BlockID) int {
+	return int(uint64(id) % uint64(l.dev.Channels()))
+}
+
+// BlockSize returns the fixed write unit (8 MB).
+func (l *Layer) BlockSize() int { return l.dev.BlockSize() }
+
+// PageSize returns the read unit (8 KB).
+func (l *Layer) PageSize() int { return l.dev.PageSize() }
+
+// pickChannel applies the placement policy for a new write.
+func (l *Layer) pickChannel(id BlockID) int {
+	if l.cfg.Placement == PlacementHash {
+		return l.ChannelOf(id)
+	}
+	best := -1
+	for c := range l.chans {
+		if len(l.chans[c].erased)+len(l.chans[c].dirty) == 0 {
+			continue // no space on this channel
+		}
+		if best < 0 {
+			best = c
+			continue
+		}
+		bi, ci := l.inflight[best], l.inflight[c]
+		if ci < bi || (ci == bi && len(l.chans[c].erased) > len(l.chans[best].erased)) {
+			best = c
+		}
+	}
+	if best < 0 {
+		best = l.ChannelOf(id) // let the hash channel report ErrNoSpace
+	}
+	return best
+}
+
+// Write stores one block under id. data must be BlockSize long, or
+// nil in timing-only mode. If the channel has a pre-erased block the
+// write programs directly; otherwise it pays an inline erase.
+func (l *Layer) Write(p *sim.Proc, id BlockID, data []byte) (Handle, error) {
+	if _, ok := l.blocks[id]; ok {
+		return Handle{}, fmt.Errorf("%w: %d", ErrDuplicateID, id)
+	}
+	c := l.pickChannel(id)
+	cs := l.chans[c]
+	l.inflight[c]++
+	defer func() { l.inflight[c]-- }()
+	var lbn int
+	switch {
+	case len(cs.erased) > 0:
+		lbn = cs.erased[len(cs.erased)-1]
+		cs.erased = cs.erased[:len(cs.erased)-1]
+		if err := l.dev.Write(p, c, lbn, data); err != nil {
+			return Handle{}, err
+		}
+	case len(cs.dirty) > 0:
+		lbn = cs.dirty[len(cs.dirty)-1]
+		cs.dirty = cs.dirty[:len(cs.dirty)-1]
+		l.inlineErases++
+		if err := l.dev.EraseWrite(p, c, lbn, data); err != nil {
+			return Handle{}, err
+		}
+	default:
+		return Handle{}, fmt.Errorf("%w: channel %d", ErrNoSpace, c)
+	}
+	h := Handle{Channel: c, LBN: lbn}
+	l.blocks[id] = h
+	l.writes++
+	return h, nil
+}
+
+// Read returns size bytes at byte offset off within the block written
+// under id. off and size must be page aligned.
+func (l *Layer) Read(p *sim.Proc, id BlockID, off, size int) ([]byte, error) {
+	h, ok := l.blocks[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownID, id)
+	}
+	l.reads++
+	return l.dev.Read(p, h.Channel, h.LBN, off, size)
+}
+
+// Lookup returns the handle for id.
+func (l *Layer) Lookup(id BlockID) (Handle, bool) {
+	h, ok := l.blocks[id]
+	return h, ok
+}
+
+// Free releases the block written under id. The space returns to the
+// channel's dirty pool; the background eraser reclaims it during idle
+// time (or the next write to the channel pays an inline erase).
+func (l *Layer) Free(p *sim.Proc, id BlockID) error {
+	h, ok := l.blocks[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownID, id)
+	}
+	delete(l.blocks, id)
+	cs := l.chans[h.Channel]
+	cs.dirty = append(cs.dirty, h.LBN)
+	cs.work.Fire()
+	return nil
+}
+
+// FreeBlocks returns (erased, dirty) block counts for a channel.
+func (l *Layer) FreeBlocks(c int) (erased, dirty int) {
+	return len(l.chans[c].erased), len(l.chans[c].dirty)
+}
+
+// Stats returns (writes, reads, inline erases, background erases).
+func (l *Layer) Stats() (writes, reads, inline, background int64) {
+	return l.writes, l.reads, l.inlineErases, l.backgroundErases
+}
+
+// eraseLoop is the per-channel idle-time eraser: it drains the dirty
+// pool whenever the channel engine is idle, deferring to foreground
+// traffic otherwise.
+func (l *Layer) eraseLoop(p *sim.Proc, c int) {
+	cs := l.chans[c]
+	for {
+		if len(cs.dirty) == 0 {
+			if !cs.work.Fired() {
+				p.Await(cs.work)
+			}
+			cs.work = sim.NewSignal(l.env)
+			continue
+		}
+		if !l.dev.Channel(c).Idle() {
+			p.Wait(l.cfg.IdlePollInterval)
+			continue
+		}
+		lbn := cs.dirty[len(cs.dirty)-1]
+		cs.dirty = cs.dirty[:len(cs.dirty)-1]
+		if err := l.dev.Erase(p, c, lbn); err != nil {
+			// The block could not be prepared (e.g. worn out); it is
+			// dropped from circulation.
+			continue
+		}
+		cs.erased = append(cs.erased, lbn)
+		l.backgroundErases++
+	}
+}

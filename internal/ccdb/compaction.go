@@ -1,0 +1,157 @@
+package ccdb
+
+import (
+	"sort"
+
+	"sdf/internal/sim"
+)
+
+// compactLoop is the slice's background compactor: whenever a tier
+// reaches the fan-in it merge-sorts all of that tier's runs into one
+// run of the next tier. Each merge reads every input patch in full and
+// writes fresh output patches — the workload that, combined with
+// client writes, defines the Figure 14 experiment. Compaction requests
+// share the device with foreground traffic through the ordinary
+// queues (the paper leaves priority scheduling as future work; §2.4).
+func (s *Slice) compactLoop(p *sim.Proc) {
+	for {
+		if !s.compactKick.Fired() {
+			p.Await(s.compactKick)
+		}
+		s.compactKick = sim.NewSignal(s.env)
+		for {
+			tier := s.overfullTier()
+			if tier < 0 {
+				break
+			}
+			s.compactBusy = true
+			s.compactTier(p, tier)
+			s.compactBusy = false
+		}
+	}
+}
+
+// overfullTier returns the lowest tier at or over the fan-in, or -1.
+func (s *Slice) overfullTier() int {
+	for i, tier := range s.tiers {
+		if len(tier) >= s.cfg.RunsPerTier {
+			return i
+		}
+	}
+	return -1
+}
+
+// compactTier merges every run of the tier into one run of tier+1.
+func (s *Slice) compactTier(p *sim.Proc, tier int) {
+	// Snapshot the tier's current runs but leave them visible: lookups
+	// during the (long) merge must still see this data. New flushes
+	// append behind the snapshot and are not part of this merge.
+	inputs := append([]run(nil), s.tiers[tier]...)
+
+	// Read every input patch in full (large sequential reads), then
+	// merge the in-memory indexes. Later runs are newer and win ties.
+	type src struct {
+		entries []Entry
+		age     int // higher is newer
+	}
+	var sources []src
+	age := 0
+	for _, r := range inputs {
+		var entries []Entry
+		for _, pt := range r {
+			data, _ := s.readPatchAll(p, pt)
+			for i, k := range pt.keys {
+				e := Entry{Key: k, Size: pt.sizes[i]}
+				if data != nil {
+					e.Value = data[pt.offs[i] : pt.offs[i]+pt.sizes[i]]
+				}
+				entries = append(entries, e)
+			}
+			s.stats.CompactionReads++
+		}
+		sources = append(sources, src{entries: entries, age: age})
+		age++
+	}
+
+	// K-way merge with newest-wins de-duplication. Inputs are sorted,
+	// so a linear merge suffices; for clarity we concatenate and
+	// stable-sort by (key, -age): both are O(n log n) on in-memory
+	// metadata, which is not the simulated cost (the device reads and
+	// writes above and below are).
+	type tagged struct {
+		Entry
+		age int
+	}
+	var all []tagged
+	for _, sc := range sources {
+		for _, e := range sc.entries {
+			all = append(all, tagged{Entry: e, age: sc.age})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].Key != all[j].Key {
+			return all[i].Key < all[j].Key
+		}
+		return all[i].age > all[j].age
+	})
+	var merged []Entry
+	for i, e := range all {
+		if i > 0 && all[i-1].Key == e.Key {
+			continue // older duplicate
+		}
+		merged = append(merged, e.Entry)
+	}
+
+	// Write the merged run as full patches.
+	var out run
+	var batch []Entry
+	used := 0
+	flushBatch := func() {
+		if len(batch) == 0 {
+			return
+		}
+		pt, err := s.writePatch(p, batch)
+		if err == nil {
+			out = append(out, pt)
+		}
+		batch = nil
+		used = 0
+	}
+	for _, e := range merged {
+		eb := s.entryBytes(e.Key, e.Size)
+		if used+eb > s.cfg.PatchBytes {
+			flushBatch()
+		}
+		batch = append(batch, e)
+		used += eb
+	}
+	flushBatch()
+
+	// Install the output, then atomically drop the merged runs (they
+	// are the oldest entries of the tier; newer flushes appended after
+	// the snapshot stay) and retire their patches.
+	if len(out) > 0 {
+		s.insertRun(tier+1, out)
+	}
+	s.tiers[tier] = s.tiers[tier][len(inputs):]
+	for _, r := range inputs {
+		for _, pt := range r {
+			s.retire(p, pt)
+		}
+	}
+	s.stats.Compactions++
+}
+
+// readPatchAll reads a patch end to end and returns its payload (nil
+// in timing mode).
+func (s *Slice) readPatchAll(p *sim.Proc, pt *patch) ([]byte, error) {
+	if len(pt.keys) == 0 {
+		return nil, nil
+	}
+	last := len(pt.keys) - 1
+	span := pt.offs[last] + pt.sizes[last]
+	if span == 0 {
+		return nil, nil
+	}
+	return s.store.ReadAt(p, pt.ref, 0, span)
+}

@@ -1,0 +1,187 @@
+package ccdb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sdf/internal/sim"
+)
+
+// The storage system serves three data formats — database tables,
+// files, and plain KV pairs — through three subsystems (Table, FS,
+// KV) that are all implemented over the same sliced KV substrate
+// (§2.4): "In the Table system, the key is the index of a table row,
+// and the value is the remaining fields of the row. In the FS system,
+// the path name of a file is the key and the data or a segment of
+// data of the file is the value."
+
+// Table is the row-oriented facade: one slice holds rows keyed by a
+// row index, each row a set of named fields.
+type Table struct {
+	name  string
+	slice *Slice
+}
+
+// NewTable wraps a slice as a table.
+func NewTable(name string, slice *Slice) *Table {
+	return &Table{name: name, slice: slice}
+}
+
+// rowKey builds the storage key for a row.
+func (t *Table) rowKey(row string) string {
+	return "tbl/" + t.name + "/" + row
+}
+
+// PutRow stores the fields of a row. In timing-only mode pass nil
+// field values with sizes encoded via FieldSizes instead.
+func (t *Table) PutRow(p *sim.Proc, row string, fields map[string][]byte) error {
+	// Fields serialize deterministically: sorted by name, each as
+	// name\0value\0.
+	names := make([]string, 0, len(fields))
+	for n := range fields {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var buf []byte
+	for _, n := range names {
+		buf = append(buf, n...)
+		buf = append(buf, 0)
+		buf = append(buf, fields[n]...)
+		buf = append(buf, 0)
+	}
+	return t.slice.Put(p, t.rowKey(row), buf, len(buf))
+}
+
+// GetRow fetches a row's fields (data mode).
+func (t *Table) GetRow(p *sim.Proc, row string) (map[string][]byte, error) {
+	val, _, err := t.slice.Get(p, t.rowKey(row))
+	if err != nil {
+		return nil, err
+	}
+	fields := make(map[string][]byte)
+	for len(val) > 0 {
+		i := indexByte(val, 0)
+		if i < 0 {
+			return nil, fmt.Errorf("ccdb: corrupt row %q", row)
+		}
+		name := string(val[:i])
+		val = val[i+1:]
+		j := indexByte(val, 0)
+		if j < 0 {
+			return nil, fmt.Errorf("ccdb: corrupt row %q", row)
+		}
+		fields[name] = append([]byte(nil), val[:j]...)
+		val = val[j+1:]
+	}
+	return fields, nil
+}
+
+func indexByte(b []byte, c byte) int {
+	for i, v := range b {
+		if v == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// FS is the file facade: a path names a file, stored as fixed-size
+// segments so large files span patches.
+type FS struct {
+	slice   *Slice
+	segSize int
+	// sizes tracks file lengths; in production this is part of the
+	// DRAM-resident metadata.
+	sizes map[string]int
+}
+
+// NewFS wraps a slice as a file store with the given segment size.
+func NewFS(slice *Slice, segSize int) *FS {
+	if segSize <= 0 {
+		segSize = 1 << 20
+	}
+	return &FS{slice: slice, segSize: segSize, sizes: make(map[string]int)}
+}
+
+// segKey names segment i of a path.
+func (fs *FS) segKey(path string, i int) string {
+	return fmt.Sprintf("fs/%s/%08d", path, i)
+}
+
+// WriteFile stores data under path, replacing any previous content.
+// size is used in timing-only mode (data nil).
+func (fs *FS) WriteFile(p *sim.Proc, path string, data []byte, size int) error {
+	if data != nil {
+		size = len(data)
+	}
+	if strings.Contains(path, "\x00") {
+		return fmt.Errorf("ccdb: invalid path")
+	}
+	for i, off := 0, 0; off < size || i == 0; i, off = i+1, off+fs.segSize {
+		n := size - off
+		if n > fs.segSize {
+			n = fs.segSize
+		}
+		var seg []byte
+		if data != nil {
+			seg = data[off : off+n]
+		}
+		if err := fs.slice.Put(p, fs.segKey(path, i), seg, n); err != nil {
+			return err
+		}
+	}
+	fs.sizes[path] = size
+	return nil
+}
+
+// ReadFile fetches a whole file (data mode returns the bytes; timing
+// mode returns nil with the correct size).
+func (fs *FS) ReadFile(p *sim.Proc, path string) ([]byte, int, error) {
+	size, ok := fs.sizes[path]
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	var out []byte
+	got := 0
+	for i := 0; got < size || i == 0; i++ {
+		val, n, err := fs.slice.Get(p, fs.segKey(path, i))
+		if err != nil {
+			return nil, 0, err
+		}
+		if val != nil {
+			out = append(out, val...)
+		}
+		got += n
+		if n == 0 {
+			break
+		}
+	}
+	return out, got, nil
+}
+
+// FileSize reports a file's length without touching storage (the
+// metadata is in DRAM).
+func (fs *FS) FileSize(path string) (int, bool) {
+	n, ok := fs.sizes[path]
+	return n, ok
+}
+
+// KV is the plain key-value facade — a thin naming wrapper that keeps
+// the three subsystems' keyspaces disjoint on a shared slice.
+type KV struct {
+	slice *Slice
+}
+
+// NewKV wraps a slice as a KV store.
+func NewKV(slice *Slice) *KV { return &KV{slice: slice} }
+
+// Put stores value under key.
+func (kv *KV) Put(p *sim.Proc, key string, value []byte, size int) error {
+	return kv.slice.Put(p, "kv/"+key, value, size)
+}
+
+// Get fetches key.
+func (kv *KV) Get(p *sim.Proc, key string) ([]byte, int, error) {
+	return kv.slice.Get(p, "kv/"+key)
+}

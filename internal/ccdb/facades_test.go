@@ -1,0 +1,229 @@
+package ccdb
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sdf/internal/sim"
+)
+
+func TestTableRowRoundTrip(t *testing.T) {
+	env := sim.NewEnv()
+	store := sdfStore(t, env, true)
+	tbl := NewTable("webpages", NewSlice(env, store, sliceConfig(store, true)))
+	w := env.Go("t", func(p *sim.Proc) {
+		fields := map[string][]byte{
+			"url":      []byte("http://example.com/a"),
+			"abstract": []byte("an example page"),
+			"rank":     {42},
+		}
+		if err := tbl.PutRow(p, "row-0001", fields); err != nil {
+			t.Error(err)
+			return
+		}
+		got, err := tbl.GetRow(p, "row-0001")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if len(got) != 3 {
+			t.Errorf("fields = %d, want 3", len(got))
+		}
+		for k, v := range fields {
+			if !bytes.Equal(got[k], v) {
+				t.Errorf("field %s mismatch", k)
+			}
+		}
+	})
+	env.RunUntilDone(w)
+	env.Close()
+}
+
+func TestTableRowSurvivesFlush(t *testing.T) {
+	env := sim.NewEnv()
+	store := sdfStore(t, env, true)
+	slice := NewSlice(env, store, sliceConfig(store, true))
+	tbl := NewTable("x", slice)
+	w := env.Go("t", func(p *sim.Proc) {
+		if err := tbl.PutRow(p, "r", map[string][]byte{"f": []byte("v")}); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := slice.Flush(p); err != nil {
+			t.Error(err)
+			return
+		}
+		got, err := tbl.GetRow(p, "r")
+		if err != nil || string(got["f"]) != "v" {
+			t.Errorf("row after flush: %v %v", got, err)
+		}
+	})
+	env.RunUntilDone(w)
+	env.Close()
+}
+
+func TestTablesDoNotCollide(t *testing.T) {
+	env := sim.NewEnv()
+	store := sdfStore(t, env, true)
+	slice := NewSlice(env, store, sliceConfig(store, true))
+	a := NewTable("a", slice)
+	b := NewTable("b", slice)
+	w := env.Go("t", func(p *sim.Proc) {
+		if err := a.PutRow(p, "r", map[string][]byte{"v": []byte("A")}); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := b.PutRow(p, "r", map[string][]byte{"v": []byte("B")}); err != nil {
+			t.Error(err)
+			return
+		}
+		ga, _ := a.GetRow(p, "r")
+		gb, _ := b.GetRow(p, "r")
+		if string(ga["v"]) != "A" || string(gb["v"]) != "B" {
+			t.Errorf("cross-table collision: %q %q", ga["v"], gb["v"])
+		}
+	})
+	env.RunUntilDone(w)
+	env.Close()
+}
+
+func TestFSMultiSegmentFile(t *testing.T) {
+	env := sim.NewEnv()
+	store := sdfStore(t, env, true)
+	fs := NewFS(NewSlice(env, store, sliceConfig(store, true)), 10_000)
+	data := make([]byte, 35_000) // 4 segments
+	rand.New(rand.NewSource(5)).Read(data)
+	w := env.Go("t", func(p *sim.Proc) {
+		if err := fs.WriteFile(p, "images/cat.jpg", data, 0); err != nil {
+			t.Error(err)
+			return
+		}
+		got, size, err := fs.ReadFile(p, "images/cat.jpg")
+		if err != nil || size != len(data) || !bytes.Equal(got, data) {
+			t.Errorf("ReadFile: size=%d err=%v", size, err)
+		}
+		if n, ok := fs.FileSize("images/cat.jpg"); !ok || n != len(data) {
+			t.Errorf("FileSize = %d/%v", n, ok)
+		}
+	})
+	env.RunUntilDone(w)
+	env.Close()
+}
+
+func TestFSEmptyFile(t *testing.T) {
+	env := sim.NewEnv()
+	store := sdfStore(t, env, true)
+	fs := NewFS(NewSlice(env, store, sliceConfig(store, true)), 10_000)
+	w := env.Go("t", func(p *sim.Proc) {
+		if err := fs.WriteFile(p, "empty", []byte{}, 0); err != nil {
+			t.Error(err)
+			return
+		}
+		_, size, err := fs.ReadFile(p, "empty")
+		if err != nil || size != 0 {
+			t.Errorf("empty file: size=%d err=%v", size, err)
+		}
+	})
+	env.RunUntilDone(w)
+	env.Close()
+}
+
+func TestFSMissingFile(t *testing.T) {
+	env := sim.NewEnv()
+	store := sdfStore(t, env, true)
+	fs := NewFS(NewSlice(env, store, sliceConfig(store, true)), 10_000)
+	w := env.Go("t", func(p *sim.Proc) {
+		if _, _, err := fs.ReadFile(p, "ghost"); !errors.Is(err, ErrNotFound) {
+			t.Errorf("missing file: %v", err)
+		}
+	})
+	env.RunUntilDone(w)
+	env.Close()
+}
+
+func TestFSTimingMode(t *testing.T) {
+	env := sim.NewEnv()
+	store := sdfStore(t, env, false)
+	fs := NewFS(NewSlice(env, store, sliceConfig(store, false)), 50_000)
+	w := env.Go("t", func(p *sim.Proc) {
+		if err := fs.WriteFile(p, "f", nil, 120_000); err != nil {
+			t.Error(err)
+			return
+		}
+		_, size, err := fs.ReadFile(p, "f")
+		if err != nil || size != 120_000 {
+			t.Errorf("timing-mode file: size=%d err=%v", size, err)
+		}
+	})
+	env.RunUntilDone(w)
+	env.Close()
+}
+
+func TestKVFacadeNamespace(t *testing.T) {
+	env := sim.NewEnv()
+	store := sdfStore(t, env, true)
+	slice := NewSlice(env, store, sliceConfig(store, true))
+	kv := NewKV(slice)
+	w := env.Go("t", func(p *sim.Proc) {
+		if err := kv.Put(p, "k", []byte("v"), 1); err != nil {
+			t.Error(err)
+			return
+		}
+		got, _, err := kv.Get(p, "k")
+		if err != nil || string(got) != "v" {
+			t.Errorf("KV round trip: %q %v", got, err)
+		}
+		// The raw keyspace must not see unprefixed keys.
+		if _, _, err := slice.Get(p, "k"); !errors.Is(err, ErrNotFound) {
+			t.Errorf("namespace leak: %v", err)
+		}
+	})
+	env.RunUntilDone(w)
+	env.Close()
+}
+
+func TestThreeSubsystemsShareOneSlice(t *testing.T) {
+	env := sim.NewEnv()
+	store := sdfStore(t, env, true)
+	slice := NewSlice(env, store, sliceConfig(store, true))
+	tbl := NewTable("t", slice)
+	fs := NewFS(slice, 20_000)
+	kv := NewKV(slice)
+	w := env.Go("t", func(p *sim.Proc) {
+		for i := 0; i < 20; i++ {
+			if err := tbl.PutRow(p, fmt.Sprintf("r%02d", i), map[string][]byte{"d": bytes.Repeat([]byte{1}, 999)}); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := fs.WriteFile(p, fmt.Sprintf("f%02d", i), bytes.Repeat([]byte{2}, 3000), 0); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := kv.Put(p, fmt.Sprintf("k%02d", i), bytes.Repeat([]byte{3}, 500), 500); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		if err := slice.Flush(p); err != nil {
+			t.Error(err)
+			return
+		}
+		row, err := tbl.GetRow(p, "r07")
+		if err != nil || len(row["d"]) != 999 {
+			t.Errorf("table read-back: %v", err)
+		}
+		f, n, err := fs.ReadFile(p, "f13")
+		if err != nil || n != 3000 || f[0] != 2 {
+			t.Errorf("fs read-back: %v", err)
+		}
+		v, _, err := kv.Get(p, "k19")
+		if err != nil || len(v) != 500 || v[0] != 3 {
+			t.Errorf("kv read-back: %v", err)
+		}
+	})
+	env.RunUntilDone(w)
+	env.Close()
+}

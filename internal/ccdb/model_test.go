@@ -1,0 +1,85 @@
+package ccdb
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"sdf/internal/sim"
+)
+
+// TestModelBasedRandomOps drives a slice with a long random sequence
+// of Put/Get/Flush operations and checks every observable result
+// against a plain map model — across memtable, patches, and
+// compactions.
+func TestModelBasedRandomOps(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			env := sim.NewEnv()
+			store := sdfStore(t, env, true)
+			cfg := sliceConfig(store, true)
+			cfg.RunsPerTier = 3
+			s := NewSlice(env, store, cfg)
+			model := make(map[string][]byte)
+			rng := rand.New(rand.NewSource(seed))
+			w := env.Go("driver", func(p *sim.Proc) {
+				for op := 0; op < 500; op++ {
+					switch rng.Intn(10) {
+					case 0: // flush
+						if err := s.Flush(p); err != nil {
+							t.Errorf("op %d flush: %v", op, err)
+							return
+						}
+					case 1, 2, 3, 4: // put
+						key := fmt.Sprintf("key%02d", rng.Intn(40))
+						val := make([]byte, 200+rng.Intn(2000))
+						rng.Read(val)
+						if err := s.Put(p, key, val, len(val)); err != nil {
+							t.Errorf("op %d put: %v", op, err)
+							return
+						}
+						model[key] = val
+					default: // get
+						key := fmt.Sprintf("key%02d", rng.Intn(40))
+						want, exists := model[key]
+						got, size, err := s.Get(p, key)
+						if !exists {
+							if !errors.Is(err, ErrNotFound) {
+								t.Errorf("op %d get %s: want NotFound, got %v", op, key, err)
+								return
+							}
+							continue
+						}
+						if err != nil {
+							t.Errorf("op %d get %s: %v", op, key, err)
+							return
+						}
+						if size != len(want) || !bytes.Equal(got, want) {
+							t.Errorf("op %d get %s: wrong value (size %d vs %d)", op, key, size, len(want))
+							return
+						}
+					}
+					// Let background compaction interleave.
+					if rng.Intn(20) == 0 {
+						p.Wait(time.Duration(rng.Intn(500)) * time.Millisecond)
+					}
+				}
+				// Final sweep: everything in the model must be intact.
+				p.Wait(10 * time.Second)
+				for key, want := range model {
+					got, _, err := s.Get(p, key)
+					if err != nil || !bytes.Equal(got, want) {
+						t.Errorf("final get %s: %v", key, err)
+						return
+					}
+				}
+			})
+			env.RunUntilDone(w)
+			env.Close()
+		})
+	}
+}

@@ -1,0 +1,151 @@
+// Package cluster implements the system-level data replication that
+// lets SDF drop cross-channel parity (§2.2): "in our large-scale
+// Internet service infrastructure, data reliability is provided by
+// data replication across multiple racks ... SDF excludes the
+// parity-based data protection and relies on BCH ECC and
+// software-managed data replication."
+//
+// A replica Group spans several storage nodes (each a CCDB slice on
+// its own device). Writes go to every replica; reads are served by
+// the primary, and when a node reports an uncorrectable BCH error —
+// the rare event the paper saw once across 2000+ cards in six months
+// — the group transparently recovers the value from another replica
+// and repairs the failed node.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"sdf/internal/ccdb"
+	"sdf/internal/sim"
+)
+
+// ErrAllReplicasFailed is returned when no replica can serve a read.
+var ErrAllReplicasFailed = errors.New("cluster: all replicas failed")
+
+// Node is one storage server holding a replica: a CCDB slice plus the
+// NIC that replication traffic crosses.
+type Node struct {
+	Name  string
+	Slice *ccdb.Slice
+	nic   *sim.SharedLink
+}
+
+// NewNode wraps a slice as a replica node with a 10 GbE NIC.
+func NewNode(env *sim.Env, name string, slice *ccdb.Slice) *Node {
+	return &Node{Name: name, Slice: slice, nic: sim.NewSharedLink(env, 1.25e9)}
+}
+
+// Config tunes a replica group.
+type Config struct {
+	// RepairOnRead rewrites a value to a replica that failed to serve
+	// it (read-repair). Disable to observe bare failover.
+	RepairOnRead bool
+}
+
+// DefaultConfig enables read-repair.
+func DefaultConfig() Config { return Config{RepairOnRead: true} }
+
+// Group is a replicated keyspace across nodes; nodes[0] is the
+// preferred (primary) read target.
+type Group struct {
+	env   *sim.Env
+	cfg   Config
+	nodes []*Node
+
+	puts      int64
+	gets      int64
+	failovers int64
+	repairs   int64
+	lost      int64
+}
+
+// NewGroup builds a group over the given nodes.
+func NewGroup(env *sim.Env, cfg Config, nodes ...*Node) (*Group, error) {
+	if len(nodes) < 1 {
+		return nil, fmt.Errorf("cluster: need at least one node")
+	}
+	return &Group{env: env, cfg: cfg, nodes: nodes}, nil
+}
+
+// Replicas returns the replication factor.
+func (g *Group) Replicas() int { return len(g.nodes) }
+
+// Stats returns (puts, gets, failovers, repairs, lost reads).
+func (g *Group) Stats() (puts, gets, failovers, repairs, lost int64) {
+	return g.puts, g.gets, g.failovers, g.repairs, g.lost
+}
+
+// Put stores the value on every replica in parallel and returns when
+// all acknowledge — write availability follows the slowest node, as
+// in a synchronously replicated store. The value crosses each node's
+// NIC before the slice write.
+func (g *Group) Put(p *sim.Proc, key string, value []byte, size int) error {
+	errs := make([]error, len(g.nodes))
+	var workers []*sim.Proc
+	for i, node := range g.nodes {
+		i, node := i, node
+		w := g.env.Go("cluster/put", func(wp *sim.Proc) {
+			node.nic.Transfer(wp, size)
+			errs[i] = node.Slice.Put(wp, key, value, size)
+		})
+		workers = append(workers, w)
+	}
+	for _, w := range workers {
+		p.Join(w)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	g.puts++
+	return nil
+}
+
+// Get reads from the primary and fails over to the other replicas on
+// any read error (uncorrectable ECC, worn-out blocks). With
+// RepairOnRead, a recovered value is written back to the nodes that
+// failed to serve it.
+func (g *Group) Get(p *sim.Proc, key string) ([]byte, int, error) {
+	g.gets++
+	var failed []*Node
+	for i, node := range g.nodes {
+		value, size, err := node.Slice.Get(p, key)
+		if err == nil {
+			if i > 0 {
+				g.failovers++
+			}
+			node.nic.Transfer(p, size)
+			if len(failed) > 0 && g.cfg.RepairOnRead {
+				g.repair(p, failed, key, value, size)
+			}
+			return value, size, nil
+		}
+		if errors.Is(err, ccdb.ErrNotFound) {
+			// A key absent at the primary is absent everywhere
+			// (replication is synchronous); report it directly.
+			return nil, 0, err
+		}
+		// Device-level failure (most prominently an uncorrectable
+		// BCH sector, flashchan.ErrUncorrectable): try the next
+		// replica and remember this node for read-repair.
+		failed = append(failed, node)
+	}
+	g.lost++
+	return nil, 0, fmt.Errorf("%w: %q", ErrAllReplicasFailed, key)
+}
+
+// repair rewrites a recovered value to the replicas that failed.
+func (g *Group) repair(p *sim.Proc, failed []*Node, key string, value []byte, size int) {
+	for _, node := range failed {
+		node := node
+		g.env.Go("cluster/repair", func(wp *sim.Proc) {
+			node.nic.Transfer(wp, size)
+			if err := node.Slice.Put(wp, key, value, size); err == nil {
+				g.repairs++
+			}
+		})
+	}
+}

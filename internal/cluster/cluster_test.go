@@ -1,0 +1,270 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"sdf/internal/blocklayer"
+	"sdf/internal/ccdb"
+	"sdf/internal/core"
+	"sdf/internal/sim"
+)
+
+// newNode builds a replica on its own small SDF device. baseBER sets
+// the raw bit error rate of that node's flash; the BCH codec corrects
+// modest rates, while extreme rates make reads fail uncorrectably.
+func newNode(t *testing.T, env *sim.Env, name string, baseBER float64) *Node {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Channels = 4
+	cfg.Channel.Nand.BlocksPerPlane = 16
+	cfg.Channel.Nand.PagesPerBlock = 16
+	cfg.Channel.Nand.RetainData = true
+	cfg.Channel.Nand.BaseBER = baseBER
+	cfg.Channel.ECC = true
+	cfg.Channel.SparePerPlane = 2
+	dev, err := core.New(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := ccdb.NewSDFStore(blocklayer.New(env, dev, blocklayer.DefaultConfig()))
+	slice := ccdb.NewSlice(env, store, ccdb.Config{
+		PatchBytes:  store.BlockSize(),
+		RunsPerTier: 8,
+		DataMode:    true,
+	})
+	return NewNode(env, name, slice)
+}
+
+func TestReplicatedRoundTrip(t *testing.T) {
+	env := sim.NewEnv()
+	g, err := NewGroup(env, DefaultConfig(),
+		newNode(t, env, "rack1", 0),
+		newNode(t, env, "rack2", 0),
+		newNode(t, env, "rack3", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := bytes.Repeat([]byte{0xCD}, 40_000)
+	w := env.Go("t", func(p *sim.Proc) {
+		if err := g.Put(p, "page-1", val, len(val)); err != nil {
+			t.Error(err)
+			return
+		}
+		got, size, err := g.Get(p, "page-1")
+		if err != nil || size != len(val) || !bytes.Equal(got, val) {
+			t.Errorf("Get = %d/%v", size, err)
+		}
+	})
+	env.RunUntilDone(w)
+	puts, gets, failovers, _, lost := g.Stats()
+	env.Close()
+	if puts != 1 || gets != 1 || failovers != 0 || lost != 0 {
+		t.Fatalf("stats = %d/%d/%d/%d", puts, gets, failovers, lost)
+	}
+}
+
+func TestEveryReplicaHoldsTheData(t *testing.T) {
+	env := sim.NewEnv()
+	nodes := []*Node{
+		newNode(t, env, "a", 0), newNode(t, env, "b", 0), newNode(t, env, "c", 0),
+	}
+	g, err := NewGroup(env, DefaultConfig(), nodes...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := env.Go("t", func(p *sim.Proc) {
+		if err := g.Put(p, "k", []byte("replicated"), 10); err != nil {
+			t.Error(err)
+			return
+		}
+		for _, n := range nodes {
+			v, _, err := n.Slice.Get(p, "k")
+			if err != nil || string(v) != "replicated" {
+				t.Errorf("node %s: %q %v", n.Name, v, err)
+			}
+		}
+	})
+	env.RunUntilDone(w)
+	env.Close()
+}
+
+func TestFailoverOnUncorrectableECC(t *testing.T) {
+	env := sim.NewEnv()
+	// The primary's flash is hopeless (BER far beyond BCH t=8); the
+	// other replicas are healthy.
+	sick := newNode(t, env, "sick", 1e-2)
+	g, err := NewGroup(env, DefaultConfig(),
+		sick,
+		newNode(t, env, "healthy1", 0),
+		newNode(t, env, "healthy2", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := bytes.Repeat([]byte{7}, 30_000)
+	w := env.Go("t", func(p *sim.Proc) {
+		if err := g.Put(p, "k", val, len(val)); err != nil {
+			t.Error(err)
+			return
+		}
+		// Force the primary's copy to flash so its reads go to the
+		// (corrupt) device rather than the memtable.
+		if err := sick.Slice.Flush(p); err != nil {
+			t.Error(err)
+			return
+		}
+		got, _, err := g.Get(p, "k")
+		if err != nil || !bytes.Equal(got, val) {
+			t.Errorf("Get after primary corruption: %v", err)
+		}
+	})
+	env.RunUntilDone(w)
+	_, _, failovers, _, lost := g.Stats()
+	env.Close()
+	if failovers != 1 {
+		t.Fatalf("failovers = %d, want 1", failovers)
+	}
+	if lost != 0 {
+		t.Fatalf("lost = %d, want 0", lost)
+	}
+}
+
+func TestReadRepairRestoresReplica(t *testing.T) {
+	env := sim.NewEnv()
+	sick := newNode(t, env, "sick", 1e-2)
+	healthy := newNode(t, env, "healthy", 0)
+	g, err := NewGroup(env, DefaultConfig(), sick, healthy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := bytes.Repeat([]byte{9}, 20_000)
+	w := env.Go("t", func(p *sim.Proc) {
+		if err := g.Put(p, "k", val, len(val)); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := sick.Slice.Flush(p); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, _, err := g.Get(p, "k"); err != nil {
+			t.Error(err)
+			return
+		}
+		p.Wait(2 * time.Second) // let the async repair land
+		// The repaired copy sits in the sick node's memtable, so it is
+		// readable again despite the bad flash.
+		v, _, err := sick.Slice.Get(p, "k")
+		if err != nil || !bytes.Equal(v, val) {
+			t.Errorf("repaired replica: %v", err)
+		}
+	})
+	env.RunUntilDone(w)
+	_, _, _, repairs, _ := g.Stats()
+	env.Close()
+	if repairs != 1 {
+		t.Fatalf("repairs = %d, want 1", repairs)
+	}
+}
+
+func TestAllReplicasFailed(t *testing.T) {
+	env := sim.NewEnv()
+	a := newNode(t, env, "a", 1e-2)
+	b := newNode(t, env, "b", 1e-2)
+	g, err := NewGroup(env, DefaultConfig(), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := env.Go("t", func(p *sim.Proc) {
+		if err := g.Put(p, "k", bytes.Repeat([]byte{1}, 10_000), 10_000); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := a.Slice.Flush(p); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := b.Slice.Flush(p); err != nil {
+			t.Error(err)
+			return
+		}
+		_, _, err := g.Get(p, "k")
+		if !errors.Is(err, ErrAllReplicasFailed) {
+			t.Errorf("Get = %v, want ErrAllReplicasFailed", err)
+		}
+	})
+	env.RunUntilDone(w)
+	_, _, _, _, lost := g.Stats()
+	env.Close()
+	if lost != 1 {
+		t.Fatalf("lost = %d, want 1", lost)
+	}
+}
+
+func TestNotFoundPropagates(t *testing.T) {
+	env := sim.NewEnv()
+	g, err := NewGroup(env, DefaultConfig(), newNode(t, env, "a", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := env.Go("t", func(p *sim.Proc) {
+		if _, _, err := g.Get(p, "ghost"); !errors.Is(err, ccdb.ErrNotFound) {
+			t.Errorf("Get = %v, want NotFound", err)
+		}
+	})
+	env.RunUntilDone(w)
+	env.Close()
+}
+
+func TestGroupRequiresNodes(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	if _, err := NewGroup(env, DefaultConfig()); err == nil {
+		t.Fatal("empty group accepted")
+	}
+}
+
+func TestManyKeysSurviveOneSickReplica(t *testing.T) {
+	env := sim.NewEnv()
+	sick := newNode(t, env, "sick", 1e-2)
+	g, err := NewGroup(env, DefaultConfig(),
+		sick, newNode(t, env, "h1", 0), newNode(t, env, "h2", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	want := make(map[string][]byte)
+	w := env.Go("t", func(p *sim.Proc) {
+		for i := 0; i < 40; i++ {
+			key := fmt.Sprintf("k%03d", i)
+			val := make([]byte, 2000+rng.Intn(8000))
+			rng.Read(val)
+			if err := g.Put(p, key, val, len(val)); err != nil {
+				t.Error(err)
+				return
+			}
+			want[key] = val
+		}
+		if err := sick.Slice.Flush(p); err != nil {
+			t.Error(err)
+			return
+		}
+		for key, val := range want {
+			got, _, err := g.Get(p, key)
+			if err != nil || !bytes.Equal(got, val) {
+				t.Errorf("key %s: %v", key, err)
+				return
+			}
+		}
+	})
+	env.RunUntilDone(w)
+	_, _, _, _, lost := g.Stats()
+	env.Close()
+	if lost != 0 {
+		t.Fatalf("lost = %d, want 0", lost)
+	}
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"sdf/internal/sim"
+)
+
+// TestDeterministicReplay runs an identical mixed workload twice and
+// requires bit-identical results: same virtual end time, same
+// counters, same per-operation trace. This is the property that makes
+// the whole evaluation reproducible.
+func TestDeterministicReplay(t *testing.T) {
+	runOnce := func() (time.Duration, [3]int64, string) {
+		env := sim.NewEnv()
+		cfg := testConfig()
+		cfg.Channels = 8
+		d, err := New(env, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trace := ""
+		for ch := 0; ch < d.Channels(); ch++ {
+			ch := ch
+			rng := rand.New(rand.NewSource(int64(ch)))
+			env.Go("worker", func(p *sim.Proc) {
+				for i := 0; i < 5; i++ {
+					lbn := rng.Intn(4)
+					if err := d.EraseWrite(p, ch, lbn, nil); err != nil {
+						t.Error(err)
+						return
+					}
+					if _, err := d.Read(p, ch, lbn, 0, d.PageSize()*int(1+rng.Int31n(8))); err != nil {
+						t.Error(err)
+						return
+					}
+					trace += fmt.Sprintf("%d:%v;", ch, env.Now())
+				}
+			})
+		}
+		env.Run()
+		now := env.Now()
+		r, w, e := d.Counters()
+		env.Close()
+		return now, [3]int64{r, w, e}, trace
+	}
+	t1, c1, tr1 := runOnce()
+	t2, c2, tr2 := runOnce()
+	if t1 != t2 {
+		t.Fatalf("end times differ: %v vs %v", t1, t2)
+	}
+	if c1 != c2 {
+		t.Fatalf("counters differ: %v vs %v", c1, c2)
+	}
+	if tr1 != tr2 {
+		t.Fatal("operation traces differ")
+	}
+}

@@ -1,0 +1,595 @@
+// Package flashchan models one SDF flash channel: the asynchronous
+// 40 MHz channel bus, its two NAND chips (four planes), and the
+// dedicated channel engine that the SDF card implements per channel in
+// its Spartan-6 FPGAs (§2.1): block-level address mapping (LA2PA),
+// dynamic wear leveling (DWL), bad block management (BBM), and the
+// BCH codec protecting each chip.
+//
+// The channel exposes the paper's asymmetric interface: reads in 8 KB
+// pages, writes of one full 8 MB logical block (2 MB erase block per
+// plane, striped across the channel's four planes), and an explicit
+// erase of a logical block. There is no garbage collection and no
+// over-provisioning: every logical block maps to exactly one physical
+// block per plane, with only a small spare pool for bad-block
+// replacement.
+package flashchan
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+
+	"sdf/internal/bch"
+	"sdf/internal/nand"
+	"sdf/internal/sim"
+)
+
+// Interface-contract errors.
+var (
+	ErrNotErased     = errors.New("flashchan: logical block must be erased before writing")
+	ErrBadAlignment  = errors.New("flashchan: offset and size must be page aligned")
+	ErrOutOfSpace    = errors.New("flashchan: no healthy physical blocks left")
+	ErrUncorrectable = errors.New("flashchan: uncorrectable ECC error")
+	ErrBadAddress    = errors.New("flashchan: address out of range")
+)
+
+// Config describes one channel.
+type Config struct {
+	Chips int         // NAND chips on the channel (2 on the SDF card)
+	Nand  nand.Params // per-chip geometry and timing
+
+	// BusRate is the channel data rate in bytes/s (40 MB/s for the
+	// async 40 MHz 8-bit bus). BusOverhead is the command/address
+	// cycle cost per page transaction.
+	BusRate     float64
+	BusOverhead time.Duration
+
+	// SparePerPlane physical blocks are withheld from the logical
+	// space as bad-block replacements (~0.8% with the default 16).
+	SparePerPlane int
+
+	// PrioritizeReads admits queued reads ahead of queued writes and
+	// erases on the channel engine — the "on-demand reads take
+	// priority over writes and erasures" scheduling the paper plans
+	// as future work (§2.4). Non-preemptive: an in-service command
+	// completes first.
+	PrioritizeReads bool
+
+	// ECC enables the real BCH codec on the data path (requires
+	// Nand.RetainData). ECCSector, ECCM and ECCT configure it.
+	ECC       bool
+	ECCSector int
+	ECCM      int
+	ECCT      int
+
+	Seed int64
+}
+
+// DefaultConfig is one channel of the SDF card (Table 3): two 8 GB
+// 25 nm MLC chips, 16 GB per channel, 40 MB/s bus.
+func DefaultConfig() Config {
+	return Config{
+		Chips:         2,
+		Nand:          nand.MLC25nm(),
+		BusRate:       40e6,
+		BusOverhead:   10 * time.Microsecond,
+		SparePerPlane: 16,
+		ECCSector:     512,
+		ECCM:          13,
+		ECCT:          8,
+	}
+}
+
+// planeState is the channel engine's per-plane FTL state.
+type planeState struct {
+	plane   *nand.Plane
+	chip    int
+	free    wearHeap    // unmapped physical blocks, min-erase-count first
+	mapping map[int]int // logical block -> physical block
+}
+
+// wearHeap orders physical block indices by erase count (then index,
+// for determinism).
+type wearHeap struct {
+	plane *nand.Plane
+	idx   []int
+}
+
+func (h wearHeap) Len() int { return len(h.idx) }
+func (h wearHeap) Less(i, j int) bool {
+	a, b := h.idx[i], h.idx[j]
+	ea, eb := h.plane.EraseCount(a), h.plane.EraseCount(b)
+	if ea != eb {
+		return ea < eb
+	}
+	return a < b
+}
+func (h wearHeap) Swap(i, j int) { h.idx[i], h.idx[j] = h.idx[j], h.idx[i] }
+func (h *wearHeap) Push(x any)   { h.idx = append(h.idx, x.(int)) }
+func (h *wearHeap) Pop() any {
+	old := h.idx
+	n := len(old)
+	x := old[n-1]
+	h.idx = old[:n-1]
+	return x
+}
+
+// Channel is one exposed SDF channel with its engine.
+type Channel struct {
+	cfg    Config
+	env    *sim.Env
+	bus    *sim.Link
+	busQ   *sim.Queue[busXfer]
+	chips  []*nand.Chip
+	planes []planeState
+	mu     *sim.PriorityResource // the engine serves one command at a time
+	code   *bch.Code
+	parity map[parityKey][][]byte
+
+	bytesRead    int64
+	bytesWritten int64
+	blocksErased int64
+	eccCorrected int64
+	eccFailures  int64
+}
+
+type parityKey struct {
+	plane, block, page int
+}
+
+// busXfer is one page moving across the channel bus; done fires when
+// the wires are free again.
+type busXfer struct {
+	bytes int
+	done  *sim.Signal
+}
+
+// New builds a channel and starts its bus pump process on env.
+func New(env *sim.Env, cfg Config) (*Channel, error) {
+	if cfg.Chips < 1 {
+		return nil, fmt.Errorf("flashchan: need at least one chip")
+	}
+	ch := &Channel{
+		cfg:  cfg,
+		env:  env,
+		bus:  sim.NewLink(env, cfg.BusRate, cfg.BusOverhead),
+		busQ: sim.NewQueue[busXfer](env),
+		mu:   sim.NewPriorityResource(env, 1),
+	}
+	for i := 0; i < cfg.Chips; i++ {
+		np := cfg.Nand
+		np.Seed = cfg.Seed*1000 + int64(i)
+		chip := nand.New(env, np)
+		ch.chips = append(ch.chips, chip)
+		for pl := 0; pl < chip.Planes(); pl++ {
+			ps := planeState{
+				plane:   chip.Plane(pl),
+				chip:    i,
+				mapping: make(map[int]int),
+			}
+			ps.free.plane = ps.plane
+			for b := 0; b < ps.plane.Blocks(); b++ {
+				if !ps.plane.Bad(b) {
+					ps.free.idx = append(ps.free.idx, b)
+				}
+			}
+			heap.Init(&ps.free)
+			ch.planes = append(ch.planes, ps)
+		}
+	}
+	if cfg.ECC {
+		if !cfg.Nand.RetainData {
+			return nil, fmt.Errorf("flashchan: ECC requires RetainData")
+		}
+		code, err := bch.New(cfg.ECCM, cfg.ECCT, cfg.ECCSector)
+		if err != nil {
+			return nil, err
+		}
+		ch.code = code
+		ch.parity = make(map[parityKey][][]byte)
+	}
+	env.Go("flashchan/buspump", ch.busPump)
+	return ch, nil
+}
+
+// busPump serializes page transfers on the channel bus, FIFO.
+func (ch *Channel) busPump(p *sim.Proc) {
+	for {
+		x := ch.busQ.Get(p)
+		ch.bus.Transfer(p, x.bytes)
+		x.done.Fire()
+	}
+}
+
+// transferAsync enqueues a bus transfer and returns its completion
+// signal without blocking.
+func (ch *Channel) transferAsync(n int) *sim.Signal {
+	done := sim.NewSignal(ch.env)
+	ch.busQ.Put(busXfer{bytes: n, done: done})
+	return done
+}
+
+// Geometry accessors.
+
+// PageSize returns the read unit in bytes (8 KB).
+func (ch *Channel) PageSize() int { return ch.cfg.Nand.PageSize }
+
+// Planes returns the number of flash planes on the channel.
+func (ch *Channel) Planes() int { return len(ch.planes) }
+
+// BlockSize returns the write/erase unit in bytes: one erase block per
+// plane (8 MB on the SDF card).
+func (ch *Channel) BlockSize() int {
+	return ch.cfg.Nand.BlockBytes() * len(ch.planes)
+}
+
+// LogicalBlocks returns the number of addressable logical blocks; all
+// but the spare pool are exposed (the paper's 99% usable capacity).
+func (ch *Channel) LogicalBlocks() int {
+	return ch.cfg.Nand.BlocksPerPlane - ch.cfg.SparePerPlane
+}
+
+// Capacity returns the exposed capacity in bytes.
+func (ch *Channel) Capacity() int64 {
+	return int64(ch.LogicalBlocks()) * int64(ch.BlockSize())
+}
+
+// RawCapacity returns the raw flash capacity in bytes.
+func (ch *Channel) RawCapacity() int64 {
+	return ch.cfg.Nand.ChipBytes() * int64(len(ch.chips))
+}
+
+// Idle reports whether the channel engine has no command in progress
+// or queued. The block layer uses it to schedule erases into idle
+// periods (§2.3).
+func (ch *Channel) Idle() bool { return ch.mu.Idle() }
+
+// Counters returns cumulative traffic statistics.
+func (ch *Channel) Counters() (read, written, erased int64) {
+	return ch.bytesRead, ch.bytesWritten, ch.blocksErased
+}
+
+// ECCStats returns (corrected bit errors, uncorrectable sector reads).
+func (ch *Channel) ECCStats() (corrected, failures int64) {
+	return ch.eccCorrected, ch.eccFailures
+}
+
+// readPrio and writePrio order channel admission: with
+// PrioritizeReads, reads (0) overtake writes and erases (1).
+func (ch *Channel) readPrio() int { return 0 }
+
+func (ch *Channel) writePrio() int {
+	if ch.cfg.PrioritizeReads {
+		return 1
+	}
+	return 0
+}
+
+// stripeBytes is the portion of a logical block on one plane.
+func (ch *Channel) stripeBytes() int { return ch.cfg.Nand.BlockBytes() }
+
+func (ch *Channel) checkLBN(lbn int) error {
+	if lbn < 0 || lbn >= ch.LogicalBlocks() {
+		return fmt.Errorf("%w: logical block %d of %d", ErrBadAddress, lbn, ch.LogicalBlocks())
+	}
+	return nil
+}
+
+// Erase prepares a logical block for writing. The engine recycles the
+// previously mapped physical blocks into the free pool and maps the
+// least-worn free block on each plane (dynamic wear leveling),
+// retiring any block that fails to erase (bad block management).
+// Erases proceed in parallel across chips but serially within a chip.
+func (ch *Channel) Erase(p *sim.Proc, lbn int) error {
+	if err := ch.checkLBN(lbn); err != nil {
+		return err
+	}
+	ch.mu.Acquire(p, ch.writePrio())
+	defer ch.mu.Release()
+	return ch.eraseLocked(p, lbn)
+}
+
+func (ch *Channel) eraseLocked(p *sim.Proc, lbn int) error {
+	// Recycle old mappings first so they are candidates again.
+	for i := range ch.planes {
+		ps := &ch.planes[i]
+		if old, ok := ps.mapping[lbn]; ok {
+			heap.Push(&ps.free, old)
+			delete(ps.mapping, lbn)
+		}
+	}
+	// Group planes by chip; erase chips in parallel, planes within a
+	// chip sequentially (one erase pulse per die at a time).
+	byChip := make(map[int][]int)
+	for i := range ch.planes {
+		byChip[ch.planes[i].chip] = append(byChip[ch.planes[i].chip], i)
+	}
+	errs := make([]error, len(ch.planes))
+	var workers []*sim.Proc
+	for c := 0; c < len(ch.chips); c++ {
+		planeIdxs := byChip[c]
+		w := ch.env.Go("flashchan/erase", func(wp *sim.Proc) {
+			for _, pi := range planeIdxs {
+				errs[pi] = ch.erasePlane(wp, pi, lbn)
+			}
+		})
+		workers = append(workers, w)
+	}
+	for _, w := range workers {
+		p.Join(w)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	ch.blocksErased++
+	return nil
+}
+
+// erasePlane allocates and erases one physical block on plane pi,
+// retiring worn-out blocks until a healthy one is found.
+func (ch *Channel) erasePlane(p *sim.Proc, pi, lbn int) error {
+	ps := &ch.planes[pi]
+	for {
+		if ps.free.Len() == 0 {
+			return fmt.Errorf("%w: plane %d", ErrOutOfSpace, pi)
+		}
+		phys := heap.Pop(&ps.free).(int)
+		err := ps.plane.Erase(p, phys)
+		if err == nil {
+			ps.mapping[lbn] = phys
+			if ch.parity != nil {
+				for pg := 0; pg < ch.cfg.Nand.PagesPerBlock; pg++ {
+					delete(ch.parity, parityKey{pi, phys, pg})
+				}
+			}
+			return nil
+		}
+		if errors.Is(err, nand.ErrWornOut) || errors.Is(err, nand.ErrBadBlock) {
+			continue // retired; try the next least-worn block
+		}
+		return err
+	}
+}
+
+// Write programs one full logical block. The block must have been
+// erased (the software's responsibility under the SDF contract — the
+// device keeps no over-provisioned space and never copies data).
+// data must be exactly BlockSize bytes, or nil in timing-only mode.
+// The four planes program in parallel, fed round-robin over the bus,
+// so throughput is program-limited (~23 MB/s per channel).
+func (ch *Channel) Write(p *sim.Proc, lbn int, data []byte) error {
+	if err := ch.checkLBN(lbn); err != nil {
+		return err
+	}
+	if data != nil && len(data) != ch.BlockSize() {
+		return fmt.Errorf("flashchan: write payload %d bytes, want %d", len(data), ch.BlockSize())
+	}
+	ch.mu.Acquire(p, ch.writePrio())
+	defer ch.mu.Release()
+	return ch.writeLocked(p, lbn, data)
+}
+
+func (ch *Channel) writeLocked(p *sim.Proc, lbn int, data []byte) error {
+	for i := range ch.planes {
+		ps := &ch.planes[i]
+		phys, ok := ps.mapping[lbn]
+		if !ok || ps.plane.WritePtr(phys) != 0 {
+			return fmt.Errorf("%w: logical block %d, plane %d", ErrNotErased, lbn, i)
+		}
+	}
+	pageSize := ch.cfg.Nand.PageSize
+	pagesPerBlock := ch.cfg.Nand.PagesPerBlock
+	stripe := ch.stripeBytes()
+	errs := make([]error, len(ch.planes))
+	var workers []*sim.Proc
+	for i := range ch.planes {
+		pi := i
+		w := ch.env.Go("flashchan/write", func(wp *sim.Proc) {
+			ps := &ch.planes[pi]
+			phys := ps.mapping[lbn]
+			// Cache programming: while page pg programs from the data
+			// register, page pg+1 streams over the bus into the cache
+			// register, so sustained writes are program-limited.
+			pending := ch.transferAsync(pageSize)
+			for pg := 0; pg < pagesPerBlock; pg++ {
+				var payload []byte
+				if data != nil {
+					off := pi*stripe + pg*pageSize
+					payload = data[off : off+pageSize]
+				}
+				wp.Await(pending)
+				if pg+1 < pagesPerBlock {
+					pending = ch.transferAsync(pageSize)
+				}
+				if err := ps.plane.Program(wp, phys, pg, payload); err != nil {
+					errs[pi] = err
+					return
+				}
+				if ch.parity != nil && payload != nil {
+					ch.storeParity(pi, phys, pg, payload)
+				}
+			}
+		})
+		workers = append(workers, w)
+	}
+	for _, w := range workers {
+		p.Join(w)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	ch.bytesWritten += int64(ch.BlockSize())
+	return nil
+}
+
+// EraseWrite performs the erase-before-write sequence as a single
+// channel command, the common path in Baidu's block layer (§2.3).
+func (ch *Channel) EraseWrite(p *sim.Proc, lbn int, data []byte) error {
+	if err := ch.checkLBN(lbn); err != nil {
+		return err
+	}
+	ch.mu.Acquire(p, ch.writePrio())
+	defer ch.mu.Release()
+	if err := ch.eraseLocked(p, lbn); err != nil {
+		return err
+	}
+	return ch.writeLocked(p, lbn, data)
+}
+
+// ReadAt reads size bytes at byte offset off within logical block lbn.
+// Both must be page aligned. Consecutive pages use the NAND cache
+// register: the array read of page n+1 overlaps the bus transfer of
+// page n, so sustained reads are bus-limited (~38 MB/s per channel).
+// The returned buffer is nil in timing-only mode.
+func (ch *Channel) ReadAt(p *sim.Proc, lbn int, off, size int) ([]byte, error) {
+	if err := ch.checkLBN(lbn); err != nil {
+		return nil, err
+	}
+	pageSize := ch.cfg.Nand.PageSize
+	if off%pageSize != 0 || size%pageSize != 0 || size <= 0 {
+		return nil, fmt.Errorf("%w: off=%d size=%d page=%d", ErrBadAlignment, off, size, pageSize)
+	}
+	if off+size > ch.BlockSize() {
+		return nil, fmt.Errorf("%w: off %d + size %d > block %d", ErrBadAddress, off, size, ch.BlockSize())
+	}
+	ch.mu.Acquire(p, ch.readPrio())
+	defer ch.mu.Release()
+
+	var out []byte
+	if ch.cfg.Nand.RetainData {
+		out = make([]byte, 0, size)
+	}
+	stripe := ch.stripeBytes()
+	var pending *sim.Signal
+	for done := 0; done < size; {
+		pi := (off + done) / stripe
+		within := (off + done) % stripe
+		pg := within / pageSize
+		ps := &ch.planes[pi]
+		phys, ok := ps.mapping[lbn]
+		if !ok {
+			return nil, fmt.Errorf("%w: logical block %d never written", ErrBadAddress, lbn)
+		}
+		data, err := ps.plane.ReadPage(p, phys, pg)
+		if err != nil {
+			return nil, err
+		}
+		if ch.code != nil {
+			data, err = ch.correct(pi, phys, pg, data)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if out != nil {
+			out = append(out, data...)
+		}
+		// Wait for the cache register to drain, then ship this page.
+		if pending != nil {
+			p.Await(pending)
+		}
+		pending = ch.transferAsync(pageSize)
+		done += pageSize
+	}
+	if pending != nil {
+		p.Await(pending)
+	}
+	ch.bytesRead += int64(size)
+	return out, nil
+}
+
+// storeParity computes and records BCH parity for each ECC sector of a
+// freshly programmed page (modelling the out-of-band area).
+func (ch *Channel) storeParity(pi, phys, pg int, payload []byte) {
+	sector := ch.cfg.ECCSector
+	n := len(payload) / sector
+	parities := make([][]byte, n)
+	for s := 0; s < n; s++ {
+		parities[s] = ch.code.Encode(payload[s*sector : (s+1)*sector])
+	}
+	ch.parity[parityKey{pi, phys, pg}] = parities
+}
+
+// correct runs the BCH decoder over each sector of a page read,
+// fixing injected bit errors in place.
+func (ch *Channel) correct(pi, phys, pg int, data []byte) ([]byte, error) {
+	parities, ok := ch.parity[parityKey{pi, phys, pg}]
+	if !ok {
+		return data, nil // written without ECC (timing-only payloads)
+	}
+	sector := ch.cfg.ECCSector
+	for s := 0; s < len(parities); s++ {
+		par := append([]byte(nil), parities[s]...)
+		n, err := ch.code.Decode(data[s*sector:(s+1)*sector], par)
+		if err != nil {
+			ch.eccFailures++
+			return nil, fmt.Errorf("%w: plane %d block %d page %d sector %d",
+				ErrUncorrectable, pi, phys, pg, s)
+		}
+		ch.eccCorrected += int64(n)
+	}
+	return data, nil
+}
+
+// ScanFilter reads an entire logical block through the channel and
+// applies a predicate inside the channel engine, returning only the
+// matching fraction of the data — "computing in storage" using the
+// FPGA logic headroom the paper points out (41% of each Spartan-6 is
+// unused; §2.1, §5, and the authors' Active SSD work). The NAND and
+// channel-bus costs are identical to a full read; the saving is that
+// only selectivity*span bytes continue to the host. The predicate is
+// abstracted as its selectivity; in data mode the filter returns every
+// page whose first byte satisfies pred (a demonstrative predicate).
+func (ch *Channel) ScanFilter(p *sim.Proc, lbn int, selectivity float64) (matched int, err error) {
+	if err := ch.checkLBN(lbn); err != nil {
+		return 0, err
+	}
+	if selectivity < 0 {
+		selectivity = 0
+	}
+	if selectivity > 1 {
+		selectivity = 1
+	}
+	// The scan is an ordinary full-block read at the channel level.
+	if _, err := ch.ReadAt(p, lbn, 0, ch.BlockSize()); err != nil {
+		return 0, err
+	}
+	return int(selectivity * float64(ch.BlockSize())), nil
+}
+
+// WearStats summarizes wear leveling effectiveness.
+type WearStats struct {
+	MinErase, MaxErase int
+	TotalErase         int64
+	BadBlocks          int
+}
+
+// Wear reports erase-count spread and bad blocks across all planes.
+func (ch *Channel) Wear() WearStats {
+	stats := WearStats{MinErase: 1 << 30}
+	for i := range ch.planes {
+		pl := ch.planes[i].plane
+		for b := 0; b < pl.Blocks(); b++ {
+			if pl.Bad(b) {
+				stats.BadBlocks++
+				continue
+			}
+			ec := pl.EraseCount(b)
+			stats.TotalErase += int64(ec)
+			if ec < stats.MinErase {
+				stats.MinErase = ec
+			}
+			if ec > stats.MaxErase {
+				stats.MaxErase = ec
+			}
+		}
+	}
+	if stats.MinErase == 1<<30 {
+		stats.MinErase = 0
+	}
+	return stats
+}

@@ -1,0 +1,167 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+}
+
+func TestHistogramBasicStats(t *testing.T) {
+	h := NewHistogram()
+	for _, d := range []time.Duration{time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond} {
+		h.Observe(d)
+	}
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", h.Count())
+	}
+	if h.Mean() != 2*time.Millisecond {
+		t.Fatalf("Mean = %v, want 2ms", h.Mean())
+	}
+	if h.Min() != time.Millisecond || h.Max() != 3*time.Millisecond {
+		t.Fatalf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		h.Observe(time.Duration(rng.Intn(1000)+1) * time.Microsecond)
+	}
+	p50 := h.Quantile(0.5)
+	// Uniform [1µs,1000µs]: true median ~500µs; log buckets give ~9% error.
+	if p50 < 400*time.Microsecond || p50 > 600*time.Microsecond {
+		t.Fatalf("p50 = %v, want ~500µs", p50)
+	}
+	if h.Quantile(0) < h.Min() {
+		t.Fatalf("q0 < min")
+	}
+	if h.Quantile(1) > h.Max() {
+		t.Fatalf("q1 > max")
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		for _, v := range raw {
+			h.Observe(time.Duration(v%1e9) + 1)
+		}
+		prev := time.Duration(0)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(383 * time.Millisecond)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 383*time.Millisecond {
+			t.Fatalf("Quantile(%v) = %v, want 383ms", q, got)
+		}
+	}
+}
+
+func TestMeterRate(t *testing.T) {
+	m := NewMeter(0)
+	m.Add(100 << 20) // 100 MB
+	if got := m.MBps(time.Second); got != 100 {
+		t.Fatalf("MBps = %v, want 100", got)
+	}
+	if got := m.Rate(0); got != 0 {
+		t.Fatalf("Rate over zero window = %v, want 0", got)
+	}
+}
+
+func TestMeterReset(t *testing.T) {
+	m := NewMeter(0)
+	m.Add(1 << 20)
+	m.Reset(time.Second)
+	m.Add(2 << 20)
+	if got := m.MBps(2 * time.Second); got != 2 {
+		t.Fatalf("MBps after reset = %v, want 2", got)
+	}
+}
+
+func TestMeterWindowStart(t *testing.T) {
+	m := NewMeter(5 * time.Second)
+	m.Add(10 << 20)
+	if got := m.MBps(6 * time.Second); got != 10 {
+		t.Fatalf("MBps = %v, want 10", got)
+	}
+}
+
+func TestSeriesStats(t *testing.T) {
+	var s Series
+	for _, v := range []time.Duration{10, 20, 30, 40, 50} {
+		s.Observe(v * time.Millisecond)
+	}
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Mean() != 30*time.Millisecond {
+		t.Fatalf("Mean = %v, want 30ms", s.Mean())
+	}
+	if s.Min() != 10*time.Millisecond || s.Max() != 50*time.Millisecond {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if got := s.Percentile(50); got != 30*time.Millisecond {
+		t.Fatalf("p50 = %v, want 30ms", got)
+	}
+}
+
+func TestSeriesStdDevConstant(t *testing.T) {
+	var s Series
+	for i := 0; i < 10; i++ {
+		s.Observe(time.Second)
+	}
+	if s.StdDev() != 0 {
+		t.Fatalf("StdDev of constant series = %v, want 0", s.StdDev())
+	}
+	if s.CoeffVar() != 0 {
+		t.Fatalf("CoeffVar of constant series = %v, want 0", s.CoeffVar())
+	}
+}
+
+func TestSeriesCoeffVarSpread(t *testing.T) {
+	var tight, wide Series
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		tight.Observe(time.Duration(380+rng.Intn(7)) * time.Millisecond)
+		wide.Observe(time.Duration(7+rng.Intn(643)) * time.Millisecond)
+	}
+	if tight.CoeffVar() >= wide.CoeffVar() {
+		t.Fatalf("tight CV %.3f should be < wide CV %.3f", tight.CoeffVar(), wide.CoeffVar())
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.StdDev() != 0 || s.Percentile(50) != 0 {
+		t.Fatal("empty series should report zeros")
+	}
+}

@@ -1,0 +1,383 @@
+// Package nand models NAND flash chips: the timing, geometry, and
+// reliability behaviour of the 25 nm MLC parts on the SDF card (two
+// chips per channel, two planes per chip, 8 KB pages, 2 MB erase
+// blocks; Table 3 of the paper).
+//
+// The model enforces real NAND constraints — erase-before-program,
+// strictly sequential page programming within a block, plane-level
+// operation serialization — and provides wear tracking, endurance-
+// driven bad-block conversion, and wear-dependent bit-error injection
+// for exercising the BCH path.
+package nand
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"sdf/internal/sim"
+)
+
+// Operation errors.
+var (
+	ErrBadBlock   = errors.New("nand: block is marked bad")
+	ErrNotErased  = errors.New("nand: programming a page in a non-erased slot")
+	ErrOutOfOrder = errors.New("nand: pages must be programmed sequentially within a block")
+	ErrUnwritten  = errors.New("nand: reading an unwritten page")
+	ErrOutOfRange = errors.New("nand: address out of range")
+	ErrWornOut    = errors.New("nand: block exceeded its program/erase endurance")
+)
+
+// Params describes a chip's geometry, timing, and reliability model.
+type Params struct {
+	PageSize       int // bytes per page
+	PagesPerBlock  int
+	BlocksPerPlane int
+	Planes         int // planes per chip
+
+	TRead  time.Duration // array read: cell to page register
+	TProg  time.Duration // program: page register to cells
+	TErase time.Duration // block erase
+
+	// EraseLimit is the nominal P/E endurance. Individual blocks get an
+	// endurance sampled around this value; exceeding it turns the block
+	// bad at the next erase. Zero disables wear-out.
+	EraseLimit int
+
+	// RetainData stores page payloads so reads return real bytes.
+	// When false the chip is timing-only (large sweeps stay cheap).
+	RetainData bool
+
+	// BaseBER and WearBER set the raw bit error rate injected into
+	// reads in data mode: BER = BaseBER + WearBER * (wear/EraseLimit)^2.
+	// Zero disables error injection.
+	BaseBER float64
+	WearBER float64
+
+	// InitialBadPPM is the manufacturing bad-block rate in parts per
+	// million (typical MLC parts ship with up to 2% bad blocks).
+	InitialBadPPM int
+
+	Seed int64
+}
+
+// MLC25nm returns parameters for the paper's 25 nm MLC parts: 8 KB
+// pages, 2 MB blocks, 2 planes, 8 GB per chip, tR=75 µs (§4.3),
+// tErase=3 ms (§2.3). tProg is calibrated at 1.4 ms so that a
+// channel's four planes sustain the paper's 1.01 GB/s aggregate raw
+// write bandwidth (§3.2).
+func MLC25nm() Params {
+	return Params{
+		PageSize:       8 << 10,
+		PagesPerBlock:  256,  // 2 MB erase block
+		BlocksPerPlane: 2048, // 4 GB plane, 8 GB chip
+		Planes:         2,
+		TRead:          75 * time.Microsecond,
+		TProg:          1400 * time.Microsecond,
+		TErase:         3 * time.Millisecond,
+		EraseLimit:     3000,
+	}
+}
+
+// BlockBytes returns the erase-block size in bytes.
+func (p Params) BlockBytes() int { return p.PageSize * p.PagesPerBlock }
+
+// PlaneBytes returns one plane's capacity in bytes.
+func (p Params) PlaneBytes() int64 {
+	return int64(p.BlockBytes()) * int64(p.BlocksPerPlane)
+}
+
+// ChipBytes returns the chip's raw capacity in bytes.
+func (p Params) ChipBytes() int64 { return p.PlaneBytes() * int64(p.Planes) }
+
+// block is the per-erase-block state.
+type block struct {
+	eraseCount int
+	endurance  int // this block's individual P/E limit
+	writePtr   int // next programmable page index; -1 if never erased
+	bad        bool
+}
+
+// Plane is an independently operable flash plane. At most one array
+// operation (read, program, erase) is active per plane at a time; the
+// page cache register lets the controller overlap the next array read
+// with the previous bus transfer, which the channel engine exploits.
+type Plane struct {
+	chip   *Chip
+	index  int
+	res    *sim.Resource
+	blocks []block
+	data   map[int64][]byte // pageIndex -> payload (RetainData mode)
+}
+
+// Chip is a NAND flash chip with Params.Planes independent planes.
+type Chip struct {
+	params Params
+	planes []*Plane
+	rng    *rand.Rand
+
+	reads    int64
+	programs int64
+	erases   int64
+}
+
+// New creates a chip. New blocks start un-erased (writePtr = -1): real
+// flash ships erased, but requiring an explicit initial erase keeps the
+// accounting uniform; FTLs erase blocks before first use anyway.
+func New(env *sim.Env, params Params) *Chip {
+	c := &Chip{
+		params: params,
+		rng:    rand.New(rand.NewSource(params.Seed)),
+	}
+	for i := 0; i < params.Planes; i++ {
+		pl := &Plane{
+			chip:   c,
+			index:  i,
+			res:    sim.NewResource(env, 1),
+			blocks: make([]block, params.BlocksPerPlane),
+		}
+		if params.RetainData {
+			pl.data = make(map[int64][]byte)
+		}
+		for b := range pl.blocks {
+			pl.blocks[b].writePtr = -1
+			pl.blocks[b].endurance = c.sampleEndurance()
+			if params.InitialBadPPM > 0 && c.rng.Intn(1_000_000) < params.InitialBadPPM {
+				pl.blocks[b].bad = true
+			}
+		}
+		c.planes = append(c.planes, pl)
+	}
+	return c
+}
+
+// sampleEndurance draws a per-block endurance around EraseLimit
+// (normal, sigma = 10%), reflecting process variation.
+func (c *Chip) sampleEndurance() int {
+	if c.params.EraseLimit <= 0 {
+		return math.MaxInt
+	}
+	e := float64(c.params.EraseLimit) * (1 + 0.1*c.rng.NormFloat64())
+	if e < 1 {
+		e = 1
+	}
+	return int(e)
+}
+
+// Params returns the chip's construction parameters.
+func (c *Chip) Params() Params { return c.params }
+
+// Plane returns plane i.
+func (c *Chip) Plane(i int) *Plane { return c.planes[i] }
+
+// Planes returns the number of planes.
+func (c *Chip) Planes() int { return len(c.planes) }
+
+// Counters returns cumulative (reads, programs, erases) across planes.
+func (c *Chip) Counters() (reads, programs, erases int64) {
+	return c.reads, c.programs, c.erases
+}
+
+func (pl *Plane) checkAddr(blockIdx, page int) error {
+	if blockIdx < 0 || blockIdx >= len(pl.blocks) {
+		return fmt.Errorf("%w: block %d of %d", ErrOutOfRange, blockIdx, len(pl.blocks))
+	}
+	if page < 0 || page >= pl.chip.params.PagesPerBlock {
+		return fmt.Errorf("%w: page %d of %d", ErrOutOfRange, page, pl.chip.params.PagesPerBlock)
+	}
+	return nil
+}
+
+func (pl *Plane) pageIndex(blockIdx, page int) int64 {
+	return int64(blockIdx)*int64(pl.chip.params.PagesPerBlock) + int64(page)
+}
+
+// ReadPage performs an array read of one page, taking TRead of plane
+// time. In data mode it returns the stored payload with wear-dependent
+// bit errors injected; in timing-only mode it returns nil.
+func (pl *Plane) ReadPage(p *sim.Proc, blockIdx, page int) ([]byte, error) {
+	if err := pl.checkAddr(blockIdx, page); err != nil {
+		return nil, err
+	}
+	b := &pl.blocks[blockIdx]
+	if page >= b.writePtr {
+		return nil, fmt.Errorf("%w: plane %d block %d page %d", ErrUnwritten, pl.index, blockIdx, page)
+	}
+	pl.res.Acquire(p)
+	p.Wait(pl.chip.params.TRead)
+	pl.res.Release()
+	pl.chip.reads++
+	if pl.data == nil {
+		return nil, nil
+	}
+	stored := pl.data[pl.pageIndex(blockIdx, page)]
+	out := append([]byte(nil), stored...)
+	pl.injectErrors(out, b.eraseCount)
+	return out, nil
+}
+
+// injectErrors flips a Poisson-distributed number of random bits, with
+// rate growing quadratically in wear.
+func (pl *Plane) injectErrors(data []byte, wear int) {
+	pp := pl.chip.params
+	ber := pp.BaseBER
+	if pp.WearBER > 0 && pp.EraseLimit > 0 {
+		frac := float64(wear) / float64(pp.EraseLimit)
+		ber += pp.WearBER * frac * frac
+	}
+	if ber <= 0 || len(data) == 0 {
+		return
+	}
+	bits := float64(len(data) * 8)
+	n := poisson(pl.chip.rng, ber*bits)
+	for i := 0; i < n; i++ {
+		pos := pl.chip.rng.Intn(len(data) * 8)
+		data[pos/8] ^= 1 << (7 - uint(pos%8))
+	}
+}
+
+// poisson samples a Poisson variate by Knuth's method (lambda is small
+// here: a raw BER of 1e-4 on an 8 KB page gives lambda ~ 6.5).
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Program writes one page, taking TProg of plane time. Pages within a
+// block must be programmed strictly in order into an erased block, as
+// on real NAND. data may be nil in timing-only mode.
+func (pl *Plane) Program(p *sim.Proc, blockIdx, page int, data []byte) error {
+	if err := pl.checkAddr(blockIdx, page); err != nil {
+		return err
+	}
+	b := &pl.blocks[blockIdx]
+	if b.bad {
+		return fmt.Errorf("%w: plane %d block %d", ErrBadBlock, pl.index, blockIdx)
+	}
+	if b.writePtr < 0 {
+		return fmt.Errorf("%w: plane %d block %d", ErrNotErased, pl.index, blockIdx)
+	}
+	if page != b.writePtr {
+		return fmt.Errorf("%w: plane %d block %d page %d, expected %d",
+			ErrOutOfOrder, pl.index, blockIdx, page, b.writePtr)
+	}
+	if data != nil && len(data) != pl.chip.params.PageSize {
+		return fmt.Errorf("nand: program payload %d bytes, want %d", len(data), pl.chip.params.PageSize)
+	}
+	pl.res.Acquire(p)
+	p.Wait(pl.chip.params.TProg)
+	pl.res.Release()
+	b.writePtr++
+	pl.chip.programs++
+	if pl.data != nil && data != nil {
+		pl.data[pl.pageIndex(blockIdx, page)] = append([]byte(nil), data...)
+	}
+	return nil
+}
+
+// Erase erases a block, taking TErase of plane time. A block whose
+// erase count passes its endurance becomes bad and returns ErrWornOut;
+// the caller (the channel engine's bad block manager) must retire it.
+func (pl *Plane) Erase(p *sim.Proc, blockIdx int) error {
+	if err := pl.checkAddr(blockIdx, 0); err != nil {
+		return err
+	}
+	b := &pl.blocks[blockIdx]
+	if b.bad {
+		return fmt.Errorf("%w: plane %d block %d", ErrBadBlock, pl.index, blockIdx)
+	}
+	pl.res.Acquire(p)
+	p.Wait(pl.chip.params.TErase)
+	pl.res.Release()
+	pl.chip.erases++
+	b.eraseCount++
+	if pl.data != nil {
+		base := pl.pageIndex(blockIdx, 0)
+		for i := 0; i < pl.chip.params.PagesPerBlock; i++ {
+			delete(pl.data, base+int64(i))
+		}
+	}
+	if b.eraseCount > b.endurance {
+		b.bad = true
+		b.writePtr = -1
+		return fmt.Errorf("%w: plane %d block %d after %d cycles",
+			ErrWornOut, pl.index, blockIdx, b.eraseCount)
+	}
+	b.writePtr = 0
+	return nil
+}
+
+// Preload marks a block as erased and its first pageCount pages as
+// programmed, in zero simulated time and without payloads. It exists
+// so experiments can start from a pre-filled device (e.g. "almost
+// full", as in the paper's Figure 8 setup) without simulating hours of
+// fill traffic. It must not be used in RetainData mode.
+func (pl *Plane) Preload(blockIdx, pageCount int) error {
+	if err := pl.checkAddr(blockIdx, 0); err != nil {
+		return err
+	}
+	if pageCount < 0 || pageCount > pl.chip.params.PagesPerBlock {
+		return fmt.Errorf("%w: preload %d pages", ErrOutOfRange, pageCount)
+	}
+	if pl.data != nil {
+		return errors.New("nand: Preload is incompatible with RetainData")
+	}
+	b := &pl.blocks[blockIdx]
+	if b.bad {
+		return fmt.Errorf("%w: plane %d block %d", ErrBadBlock, pl.index, blockIdx)
+	}
+	b.writePtr = pageCount
+	return nil
+}
+
+// EraseCount returns a block's cumulative program/erase cycles.
+func (pl *Plane) EraseCount(blockIdx int) int { return pl.blocks[blockIdx].eraseCount }
+
+// Bad reports whether a block is marked bad.
+func (pl *Plane) Bad(blockIdx int) bool { return pl.blocks[blockIdx].bad }
+
+// MarkBad retires a block explicitly (e.g. after persistent program
+// failures observed by the controller).
+func (pl *Plane) MarkBad(blockIdx int) { pl.blocks[blockIdx].bad = true }
+
+// WritePtr returns the next programmable page index of a block, or -1
+// if the block needs an erase first.
+func (pl *Plane) WritePtr(blockIdx int) int { return pl.blocks[blockIdx].writePtr }
+
+// BadBlocks returns the number of bad blocks in the plane.
+func (pl *Plane) BadBlocks() int {
+	n := 0
+	for i := range pl.blocks {
+		if pl.blocks[i].bad {
+			n++
+		}
+	}
+	return n
+}
+
+// MaxWear returns the highest erase count in the plane.
+func (pl *Plane) MaxWear() int {
+	max := 0
+	for i := range pl.blocks {
+		if pl.blocks[i].eraseCount > max {
+			max = pl.blocks[i].eraseCount
+		}
+	}
+	return max
+}
+
+// Blocks returns the number of blocks in the plane.
+func (pl *Plane) Blocks() int { return len(pl.blocks) }

@@ -1,0 +1,123 @@
+// Package rpcnet models the client/server network path of the
+// evaluation cluster (Table 2): clients with one 10 GbE NIC each, a
+// storage server with two bonded 10 GbE NICs, and batched synchronous
+// KV requests — one request carries `batch` sub-requests, the server
+// executes the sub-requests concurrently, and the response streams
+// back over both the server's and the client's NIC (§3.1, §3.3).
+package rpcnet
+
+import (
+	"time"
+
+	"sdf/internal/sim"
+)
+
+// Config sets the link speeds and per-operation software costs.
+type Config struct {
+	// ServerBandwidth is the server's aggregate NIC rate in bytes/s
+	// (two 10 GbE ports ~ 2.5 GB/s).
+	ServerBandwidth float64
+	// ClientBandwidth is one client NIC (10 GbE ~ 1.25 GB/s).
+	ClientBandwidth float64
+	// RPCOverhead is the fixed per-request cost (syscalls, framing,
+	// switch latency).
+	RPCOverhead time.Duration
+	// SubRequestCPU is the server-side cost per sub-request (request
+	// parsing, KV dispatch, memory copies).
+	SubRequestCPU time.Duration
+	// ServerCPUs bounds concurrent sub-request processing.
+	ServerCPUs int
+}
+
+// DefaultConfig matches the paper's testbed.
+func DefaultConfig() Config {
+	return Config{
+		ServerBandwidth: 2.5e9,
+		ClientBandwidth: 1.25e9,
+		RPCOverhead:     100 * time.Microsecond,
+		SubRequestCPU:   150 * time.Microsecond,
+		ServerCPUs:      16,
+	}
+}
+
+// Network is one storage server reachable by many clients.
+type Network struct {
+	env    *sim.Env
+	cfg    Config
+	server *sim.SharedLink
+	cpu    *sim.Resource
+}
+
+// NewNetwork builds the server side on env.
+func NewNetwork(env *sim.Env, cfg Config) *Network {
+	if cfg.ServerBandwidth <= 0 || cfg.ClientBandwidth <= 0 {
+		panic("rpcnet: link rates must be positive")
+	}
+	if cfg.ServerCPUs < 1 {
+		cfg.ServerCPUs = 1
+	}
+	return &Network{
+		env:    env,
+		cfg:    cfg,
+		server: sim.NewSharedLink(env, cfg.ServerBandwidth),
+		cpu:    sim.NewResource(env, cfg.ServerCPUs),
+	}
+}
+
+// Client is one closed-loop requester with a dedicated NIC.
+type Client struct {
+	net *Network
+	nic *sim.SharedLink
+}
+
+// NewClient attaches a client to the network.
+func (n *Network) NewClient() *Client {
+	return &Client{net: n, nic: sim.NewSharedLink(n.env, n.cfg.ClientBandwidth)}
+}
+
+// SubRequest is one operation within a batched request: the server
+// executes Do, which returns the number of response payload bytes.
+type SubRequest func(p *sim.Proc) int
+
+// Call performs one synchronous batched request: reqBytes travel to
+// the server, the batch executes concurrently (each sub-request pays
+// the per-op CPU cost and then its own storage work), and each
+// sub-response streams back as soon as it is ready — the server sends
+// completed sub-requests while others are still in service (§3.3.1).
+// The response traverses the server NIC pool and the client NIC
+// concurrently (cut-through at the switch), so the slower link
+// dominates. Call returns the total response bytes.
+func (c *Client) Call(p *sim.Proc, reqBytes int, batch []SubRequest) int {
+	n := c.net
+	p.Wait(n.cfg.RPCOverhead)
+	if reqBytes > 0 {
+		c.nic.Transfer(p, reqBytes)
+	}
+	respBytes := 0
+	var workers []*sim.Proc
+	for _, sub := range batch {
+		sub := sub
+		w := n.env.Go("rpcnet/sub", func(wp *sim.Proc) {
+			n.cpu.Acquire(wp)
+			wp.Wait(n.cfg.SubRequestCPU)
+			n.cpu.Release()
+			size := sub(wp)
+			respBytes += size
+			if size > 0 {
+				srv := n.env.Go("rpcnet/srvtx", func(tp *sim.Proc) {
+					n.server.Transfer(tp, size)
+				})
+				c.nic.Transfer(wp, size)
+				wp.Join(srv)
+			}
+		})
+		workers = append(workers, w)
+	}
+	for _, w := range workers {
+		p.Join(w)
+	}
+	return respBytes
+}
+
+// ServerLink exposes the server NIC pool for instrumentation.
+func (n *Network) ServerLink() *sim.SharedLink { return n.server }

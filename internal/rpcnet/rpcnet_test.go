@@ -1,0 +1,123 @@
+package rpcnet
+
+import (
+	"testing"
+	"time"
+
+	"sdf/internal/sim"
+)
+
+func fastConfig() Config {
+	cfg := DefaultConfig()
+	cfg.RPCOverhead = 0
+	cfg.SubRequestCPU = 0
+	return cfg
+}
+
+func TestResponseTransferTime(t *testing.T) {
+	env := sim.NewEnv()
+	n := NewNetwork(env, fastConfig())
+	c := n.NewClient()
+	var elapsed time.Duration
+	w := env.Go("t", func(p *sim.Proc) {
+		start := env.Now()
+		c.Call(p, 0, []SubRequest{func(p *sim.Proc) int { return 1_250_000 }})
+		elapsed = env.Now() - start
+	})
+	env.RunUntilDone(w)
+	env.Close()
+	// 1.25 MB over a 1.25 GB/s client NIC: ~1 ms (client NIC is the
+	// slower of the two links).
+	if elapsed < 990*time.Microsecond || elapsed > 1100*time.Microsecond {
+		t.Fatalf("transfer took %v, want ~1ms", elapsed)
+	}
+}
+
+func TestBatchExecutesConcurrently(t *testing.T) {
+	env := sim.NewEnv()
+	n := NewNetwork(env, fastConfig())
+	c := n.NewClient()
+	var elapsed time.Duration
+	sub := func(p *sim.Proc) int {
+		p.Wait(10 * time.Millisecond) // simulated storage work
+		return 0
+	}
+	w := env.Go("t", func(p *sim.Proc) {
+		start := env.Now()
+		c.Call(p, 0, []SubRequest{sub, sub, sub, sub})
+		elapsed = env.Now() - start
+	})
+	env.RunUntilDone(w)
+	env.Close()
+	// Four 10 ms sub-requests in parallel: ~10 ms, not 40.
+	if elapsed > 12*time.Millisecond {
+		t.Fatalf("batch took %v, want ~10ms (concurrent)", elapsed)
+	}
+}
+
+func TestServerNICSharedAcrossClients(t *testing.T) {
+	env := sim.NewEnv()
+	cfg := fastConfig()
+	n := NewNetwork(env, cfg)
+	// 4 clients each pulling 1.25 GB/s worth would total 5 GB/s;
+	// the 2.5 GB/s server pool halves it.
+	const respSize = 12_500_000 // 10 ms at client NIC rate
+	done := 0
+	for i := 0; i < 4; i++ {
+		c := n.NewClient()
+		env.Go("client", func(p *sim.Proc) {
+			c.Call(p, 0, []SubRequest{func(p *sim.Proc) int { return respSize }})
+			done++
+		})
+	}
+	env.Run()
+	if done != 4 {
+		t.Fatalf("done = %d", done)
+	}
+	// Server-bound: 4 x 12.5 MB over 2.5 GB/s = 20 ms.
+	if env.Now() < 19*time.Millisecond || env.Now() > 22*time.Millisecond {
+		t.Fatalf("finished at %v, want ~20ms (server NIC bound)", env.Now())
+	}
+	env.Close()
+}
+
+func TestServerCPUBoundsSubRequests(t *testing.T) {
+	env := sim.NewEnv()
+	cfg := fastConfig()
+	cfg.SubRequestCPU = time.Millisecond
+	cfg.ServerCPUs = 2
+	n := NewNetwork(env, cfg)
+	c := n.NewClient()
+	var elapsed time.Duration
+	noop := func(p *sim.Proc) int { return 0 }
+	w := env.Go("t", func(p *sim.Proc) {
+		start := env.Now()
+		c.Call(p, 0, []SubRequest{noop, noop, noop, noop})
+		elapsed = env.Now() - start
+	})
+	env.RunUntilDone(w)
+	env.Close()
+	// 4 x 1 ms of CPU on 2 cores: 2 ms.
+	if elapsed != 2*time.Millisecond {
+		t.Fatalf("elapsed = %v, want 2ms", elapsed)
+	}
+}
+
+func TestRPCOverheadCharged(t *testing.T) {
+	env := sim.NewEnv()
+	cfg := fastConfig()
+	cfg.RPCOverhead = 100 * time.Microsecond
+	n := NewNetwork(env, cfg)
+	c := n.NewClient()
+	var elapsed time.Duration
+	w := env.Go("t", func(p *sim.Proc) {
+		start := env.Now()
+		c.Call(p, 0, nil)
+		elapsed = env.Now() - start
+	})
+	env.RunUntilDone(w)
+	env.Close()
+	if elapsed != 100*time.Microsecond {
+		t.Fatalf("elapsed = %v, want 100µs", elapsed)
+	}
+}

@@ -1,0 +1,162 @@
+package sim
+
+import "time"
+
+// ByteTime returns the virtual time needed to move n bytes at rate
+// bytesPerSec.
+func ByteTime(n int, bytesPerSec float64) time.Duration {
+	if n <= 0 || bytesPerSec <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / bytesPerSec * float64(time.Second))
+}
+
+// Link is a store-and-forward bandwidth resource: transfers are
+// serialized FIFO and each occupies the link for overhead + bytes/rate.
+// It models command/data buses where one transaction owns the wires at
+// a time (a NAND channel bus, a SATA link).
+type Link struct {
+	res      *Resource
+	rate     float64 // bytes per second
+	overhead time.Duration
+	moved    int64
+}
+
+// NewLink returns a serialized link with the given data rate in bytes
+// per second and a fixed per-transfer overhead (command/address cycles,
+// protocol framing).
+func NewLink(env *Env, bytesPerSec float64, overhead time.Duration) *Link {
+	return &Link{res: NewResource(env, 1), rate: bytesPerSec, overhead: overhead}
+}
+
+// Transfer moves n bytes across the link, blocking for queueing plus
+// transmission time.
+func (l *Link) Transfer(p *Proc, n int) {
+	l.res.Acquire(p)
+	p.Wait(l.overhead + ByteTime(n, l.rate))
+	l.res.Release()
+	l.moved += int64(n)
+}
+
+// Rate returns the link data rate in bytes per second.
+func (l *Link) Rate() float64 { return l.rate }
+
+// Moved returns the total bytes transferred so far.
+func (l *Link) Moved() int64 { return l.moved }
+
+// Busy reports whether a transfer is in progress or queued.
+func (l *Link) Busy() bool { return !l.res.Idle() }
+
+// SharedLink is a processor-sharing bandwidth resource: all in-flight
+// transfers progress simultaneously, each receiving an equal share of
+// the link rate. It models DMA engines that interleave transactions at
+// fine granularity (PCIe, 10 GbE).
+type SharedLink struct {
+	env    *Env
+	rate   float64 // bytes per second
+	active []*xfer
+	last   int64  // virtual time of last progress update
+	gen    uint64 // invalidates stale completion events
+	moved  int64
+}
+
+type xfer struct {
+	remaining float64 // bytes
+	done      *Signal
+}
+
+// NewSharedLink returns a fair-share link with the given aggregate data
+// rate in bytes per second.
+func NewSharedLink(env *Env, bytesPerSec float64) *SharedLink {
+	if bytesPerSec <= 0 {
+		panic("sim: shared link rate must be positive")
+	}
+	return &SharedLink{env: env, rate: bytesPerSec}
+}
+
+// Rate returns the aggregate link rate in bytes per second.
+func (l *SharedLink) Rate() float64 { return l.rate }
+
+// Moved returns the total bytes transferred so far.
+func (l *SharedLink) Moved() int64 { return l.moved }
+
+// InFlight returns the number of concurrent transfers.
+func (l *SharedLink) InFlight() int { return len(l.active) }
+
+// Transfer moves n bytes across the link, blocking until completion.
+// With k concurrent transfers each progresses at rate/k.
+func (l *SharedLink) Transfer(p *Proc, n int) {
+	if n <= 0 {
+		return
+	}
+	l.advance()
+	x := &xfer{remaining: float64(n), done: NewSignal(l.env)}
+	l.active = append(l.active, x)
+	l.reschedule()
+	p.Await(x.done)
+	l.moved += int64(n)
+}
+
+// advance applies progress for the time elapsed since the last update.
+func (l *SharedLink) advance() {
+	now := int64(l.env.Now())
+	if now == l.last {
+		return
+	}
+	elapsed := float64(now-l.last) / float64(time.Second)
+	l.last = now
+	if len(l.active) == 0 {
+		return
+	}
+	each := elapsed * l.rate / float64(len(l.active))
+	for _, x := range l.active {
+		x.remaining -= each
+		if x.remaining < 0 {
+			x.remaining = 0
+		}
+	}
+}
+
+// reschedule computes the next completion instant and schedules a
+// progress event for it, invalidating any previously scheduled one.
+func (l *SharedLink) reschedule() {
+	l.gen++
+	if len(l.active) == 0 {
+		return
+	}
+	minRem := l.active[0].remaining
+	for _, x := range l.active[1:] {
+		if x.remaining < minRem {
+			minRem = x.remaining
+		}
+	}
+	share := l.rate / float64(len(l.active))
+	eta := time.Duration(minRem / share * float64(time.Second))
+	// Round up one nanosecond so the completion check sees zero
+	// remaining despite floating-point truncation.
+	eta++
+	gen := l.gen
+	l.env.Schedule(eta, func() {
+		if gen != l.gen {
+			return
+		}
+		l.complete()
+	})
+}
+
+// complete finishes all transfers that have drained and reschedules.
+func (l *SharedLink) complete() {
+	l.advance()
+	kept := l.active[:0]
+	for _, x := range l.active {
+		// One virtual nanosecond of budget is less than one byte at any
+		// realistic rate, so treat sub-byte residue as done.
+		if x.remaining < 1 {
+			x.done.Fire()
+		} else {
+			kept = append(kept, x)
+		}
+	}
+	l.active = kept
+	l.reschedule()
+}

@@ -1,0 +1,77 @@
+package sim
+
+// PriorityResource is a counting semaphore whose waiters are admitted
+// lowest-priority-value first (FIFO within a priority class). It is
+// non-preemptive: holders run to completion. The SDF block layer uses
+// it to let on-demand reads overtake queued writes and erases — the
+// request-scheduling direction the paper leaves as future work (§2.4,
+// §5).
+type PriorityResource struct {
+	env     *Env
+	cap     int
+	inUse   int
+	seq     uint64
+	waiters []prioWaiter
+}
+
+type prioWaiter struct {
+	proc *Proc
+	prio int
+	seq  uint64
+}
+
+// NewPriorityResource returns a resource with the given capacity.
+func NewPriorityResource(env *Env, capacity int) *PriorityResource {
+	if capacity < 1 {
+		panic("sim: resource capacity must be >= 1")
+	}
+	return &PriorityResource{env: env, cap: capacity}
+}
+
+// Acquire obtains one unit at the given priority (lower value is
+// served first), blocking while the resource is saturated.
+func (r *PriorityResource) Acquire(p *Proc, prio int) {
+	if r.inUse < r.cap {
+		r.inUse++
+		return
+	}
+	r.seq++
+	w := prioWaiter{proc: p, prio: prio, seq: r.seq}
+	// Insert keeping (prio, seq) order.
+	i := len(r.waiters)
+	for i > 0 {
+		prev := r.waiters[i-1]
+		if prev.prio < w.prio || (prev.prio == w.prio && prev.seq < w.seq) {
+			break
+		}
+		i--
+	}
+	r.waiters = append(r.waiters, prioWaiter{})
+	copy(r.waiters[i+1:], r.waiters[i:])
+	r.waiters[i] = w
+	p.park()
+}
+
+// Release returns one unit, handing it to the best-priority waiter.
+func (r *PriorityResource) Release() {
+	if len(r.waiters) > 0 {
+		w := r.waiters[0]
+		copy(r.waiters, r.waiters[1:])
+		r.waiters = r.waiters[:len(r.waiters)-1]
+		r.env.wake(w.proc)
+		return
+	}
+	if r.inUse == 0 {
+		panic("sim: Release of idle resource")
+	}
+	r.inUse--
+}
+
+// InUse returns the number of units held.
+func (r *PriorityResource) InUse() int { return r.inUse }
+
+// Idle reports whether nothing is held or queued.
+func (r *PriorityResource) Idle() bool { return r.inUse == 0 && len(r.waiters) == 0 }
+
+// Waiting returns the queue length.
+func (r *PriorityResource) Waiting() int { return len(r.waiters) }

@@ -1,0 +1,443 @@
+// Package sim provides a deterministic, process-oriented discrete-event
+// simulation kernel.
+//
+// All timing in the SDF reproduction is virtual: device models advance a
+// simulated clock instead of sleeping on the wall clock, so results are
+// bit-reproducible for a given seed and immune to host scheduling or
+// garbage-collection jitter.
+//
+// The kernel follows the classic process-interaction style (cf. SimPy):
+// a simulation is a set of processes, each a goroutine, of which exactly
+// one runs at any instant. A process blocks by waiting for virtual time
+// to pass (Proc.Wait), for a Signal to fire (Proc.Await), or for a
+// Resource or Queue to become available. The scheduler resumes processes
+// in strict (time, sequence) order, so event ordering is deterministic.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// event is a scheduled callback in virtual time. Events with equal time
+// fire in the order they were scheduled (seq breaks ties).
+type event struct {
+	at  int64 // virtual nanoseconds
+	seq uint64
+	fn  func()
+}
+
+// eventHeap is a binary min-heap ordered by (at, seq).
+type eventHeap []event
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
+		i = smallest
+	}
+	return top
+}
+
+// Env is a simulation environment: a virtual clock plus an event queue.
+// An Env and everything scheduled on it must be used from a single
+// logical thread of control; the kernel guarantees that by running at
+// most one process at a time.
+type Env struct {
+	now    int64
+	seq    uint64
+	heap   eventHeap
+	yield  chan struct{}
+	procs  []*Proc
+	closed bool
+	fail   *procPanic
+}
+
+type procPanic struct {
+	proc  string
+	value any
+}
+
+// errStopped is panicked inside a blocked process when the environment
+// is closed, unwinding the process goroutine cleanly.
+type stopSentinel struct{}
+
+// NewEnv returns an empty environment with the clock at zero.
+func NewEnv() *Env {
+	return &Env{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time as an offset from simulation start.
+func (e *Env) Now() time.Duration { return time.Duration(e.now) }
+
+// Schedule runs fn after the given virtual delay. fn executes in
+// scheduler context and must not block; use Go for blocking work.
+func (e *Env) Schedule(after time.Duration, fn func()) {
+	if after < 0 {
+		after = 0
+	}
+	e.seq++
+	e.heap.push(event{at: e.now + int64(after), seq: e.seq, fn: fn})
+}
+
+// Proc is a simulation process. Methods on Proc may only be called from
+// the goroutine running that process.
+type Proc struct {
+	env     *Env
+	name    string
+	resume  chan struct{}
+	started bool
+	done    bool
+	doneSig *Signal
+}
+
+// Name returns the process name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the environment this process runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Go spawns a new process. The process starts at the current virtual
+// time (after already-scheduled events at that time). Go may be called
+// before Run or from inside another process.
+func (e *Env) Go(name string, fn func(*Proc)) *Proc {
+	p := &Proc{env: e, name: name, resume: make(chan struct{})}
+	e.procs = append(e.procs, p)
+	e.Schedule(0, func() { e.start(p, fn) })
+	return p
+}
+
+// start launches the process goroutine and hands control to it until it
+// blocks or finishes. Runs in scheduler context.
+func (e *Env) start(p *Proc, fn func(*Proc)) {
+	if e.closed {
+		p.done = true
+		return
+	}
+	p.started = true
+	go func() {
+		defer func() {
+			r := recover()
+			if _, stopped := r.(stopSentinel); r != nil && !stopped && e.fail == nil {
+				e.fail = &procPanic{proc: p.name, value: r}
+			}
+			p.done = true
+			if p.doneSig != nil {
+				p.doneSig.Fire()
+			}
+			e.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	<-e.yield
+}
+
+// park blocks the current process until another component wakes it via
+// env.wake. It is the single low-level blocking primitive; all public
+// blocking operations are built on it.
+func (p *Proc) park() {
+	p.env.yield <- struct{}{}
+	<-p.resume
+	if p.env.closed {
+		panic(stopSentinel{})
+	}
+}
+
+// wake schedules p to resume at the current virtual time. It must only
+// be called for a process that is parked or about to park (the handoff
+// is mediated by the event queue, so wake-before-park is safe as long
+// as both happen before the scheduler regains control).
+func (e *Env) wake(p *Proc) {
+	e.Schedule(0, func() { e.resumeProc(p) })
+}
+
+// resumeProc hands control to a parked process until it blocks again or
+// finishes. Runs in scheduler context.
+func (e *Env) resumeProc(p *Proc) {
+	if p.done {
+		return
+	}
+	p.resume <- struct{}{}
+	<-e.yield
+}
+
+// Wait advances the process by d of virtual time.
+func (p *Proc) Wait(d time.Duration) {
+	e := p.env
+	e.Schedule(d, func() { e.resumeProc(p) })
+	p.park()
+}
+
+// Done reports whether the process has finished.
+func (p *Proc) Done() bool { return p.done }
+
+// DoneSignal returns a Signal that fires when the process finishes. The
+// same signal is returned on every call.
+func (p *Proc) DoneSignal() *Signal {
+	if p.doneSig == nil {
+		p.doneSig = NewSignal(p.env)
+		if p.done {
+			p.doneSig.Fire()
+		}
+	}
+	return p.doneSig
+}
+
+// Join blocks until the other process finishes.
+func (p *Proc) Join(other *Proc) {
+	if other.done {
+		return
+	}
+	p.Await(other.DoneSignal())
+}
+
+// Run processes events until the queue is empty. It panics with the
+// original value if any process panicked.
+func (e *Env) Run() { e.run(-1) }
+
+// RunUntil processes events up to and including virtual time limit.
+// Later events remain queued; the clock is left at limit.
+func (e *Env) RunUntil(limit time.Duration) { e.run(int64(limit)) }
+
+// RunUntilDone processes events until proc finishes (or the event
+// queue empties). Use it to drive a finite workload in the presence of
+// perpetual background processes (garbage collectors, wear levelers)
+// whose timer events would keep Run from ever returning.
+func (e *Env) RunUntilDone(proc *Proc) {
+	if e.closed {
+		panic("sim: Run on closed Env")
+	}
+	for len(e.heap) > 0 && !proc.done {
+		ev := e.heap.pop()
+		e.now = ev.at
+		ev.fn()
+		if e.fail != nil {
+			f := e.fail
+			panic(fmt.Sprintf("sim: process %q panicked: %v", f.proc, f.value))
+		}
+	}
+}
+
+func (e *Env) run(limit int64) {
+	if e.closed {
+		panic("sim: Run on closed Env")
+	}
+	for len(e.heap) > 0 {
+		if limit >= 0 && e.heap[0].at > limit {
+			e.now = limit
+			return
+		}
+		ev := e.heap.pop()
+		e.now = ev.at
+		ev.fn()
+		if e.fail != nil {
+			f := e.fail
+			panic(fmt.Sprintf("sim: process %q panicked: %v", f.proc, f.value))
+		}
+	}
+	if limit >= 0 && limit > e.now {
+		e.now = limit
+	}
+}
+
+// Close terminates all blocked processes, unwinding their goroutines.
+// After Close the environment must not be used. Close is idempotent.
+// It must be called from outside Run (not from a process).
+func (e *Env) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	for _, p := range e.procs {
+		if p.started && !p.done {
+			e.resumeProc(p)
+		}
+	}
+}
+
+// Signal is a one-shot broadcast event: processes Await it, and a later
+// Fire releases all of them. Awaiting an already-fired signal returns
+// immediately.
+type Signal struct {
+	env     *Env
+	fired   bool
+	waiters []*Proc
+}
+
+// NewSignal returns an unfired signal bound to env.
+func NewSignal(env *Env) *Signal { return &Signal{env: env} }
+
+// Fire triggers the signal, releasing current and future waiters.
+// Firing twice is a no-op.
+func (s *Signal) Fire() {
+	if s.fired {
+		return
+	}
+	s.fired = true
+	for _, w := range s.waiters {
+		s.env.wake(w)
+	}
+	s.waiters = nil
+}
+
+// Fired reports whether the signal has been triggered.
+func (s *Signal) Fired() bool { return s.fired }
+
+// Await blocks the process until the signal fires.
+func (p *Proc) Await(s *Signal) {
+	if s.fired {
+		return
+	}
+	s.waiters = append(s.waiters, p)
+	p.park()
+}
+
+// Resource is a counting semaphore with FIFO admission. It models a
+// device that can serve a bounded number of operations concurrently
+// (a flash plane, a controller pipeline slot, a NIC DMA engine).
+type Resource struct {
+	env     *Env
+	cap     int
+	inUse   int
+	waiters []*Proc
+}
+
+// NewResource returns a resource with the given concurrency capacity.
+func NewResource(env *Env, capacity int) *Resource {
+	if capacity < 1 {
+		panic("sim: resource capacity must be >= 1")
+	}
+	return &Resource{env: env, cap: capacity}
+}
+
+// Acquire obtains one unit of the resource, blocking FIFO if none free.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.cap {
+		r.inUse++
+		return
+	}
+	r.waiters = append(r.waiters, p)
+	p.park()
+}
+
+// TryAcquire obtains a unit without blocking; it reports success.
+func (r *Resource) TryAcquire() bool {
+	if r.inUse < r.cap {
+		r.inUse++
+		return true
+	}
+	return false
+}
+
+// Release returns one unit. If a process is waiting, the unit transfers
+// directly to the head of the queue.
+func (r *Resource) Release() {
+	if len(r.waiters) > 0 {
+		w := r.waiters[0]
+		copy(r.waiters, r.waiters[1:])
+		r.waiters = r.waiters[:len(r.waiters)-1]
+		r.env.wake(w)
+		return
+	}
+	if r.inUse == 0 {
+		panic("sim: Release of idle resource")
+	}
+	r.inUse--
+}
+
+// InUse returns the number of units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Idle reports whether no units are held and nobody is waiting.
+func (r *Resource) Idle() bool { return r.inUse == 0 && len(r.waiters) == 0 }
+
+// Use runs fn while holding one unit of the resource.
+func (r *Resource) Use(p *Proc, fn func()) {
+	r.Acquire(p)
+	defer r.Release()
+	fn()
+}
+
+// Queue is an unbounded FIFO channel between processes. Put never
+// blocks; Get blocks while the queue is empty.
+type Queue[T any] struct {
+	env     *Env
+	items   []T
+	getters []*Proc
+}
+
+// NewQueue returns an empty queue bound to env.
+func NewQueue[T any](env *Env) *Queue[T] { return &Queue[T]{env: env} }
+
+// Put appends an item and wakes one waiting getter, if any.
+func (q *Queue[T]) Put(x T) {
+	q.items = append(q.items, x)
+	if len(q.getters) > 0 {
+		w := q.getters[0]
+		copy(q.getters, q.getters[1:])
+		q.getters = q.getters[:len(q.getters)-1]
+		q.env.wake(w)
+	}
+}
+
+// Get removes and returns the head item, blocking while the queue is
+// empty.
+func (q *Queue[T]) Get(p *Proc) T {
+	for len(q.items) == 0 {
+		q.getters = append(q.getters, p)
+		p.park()
+	}
+	x := q.items[0]
+	copy(q.items, q.items[1:])
+	var zero T
+	q.items[len(q.items)-1] = zero
+	q.items = q.items[:len(q.items)-1]
+	// If items remain and other getters wait, propagate the wakeup so a
+	// burst of Puts cannot strand a parked getter.
+	if len(q.items) > 0 && len(q.getters) > 0 {
+		w := q.getters[0]
+		copy(q.getters, q.getters[1:])
+		q.getters = q.getters[:len(q.getters)-1]
+		q.env.wake(w)
+	}
+	return x
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }

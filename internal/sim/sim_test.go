@@ -1,0 +1,483 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	e := NewEnv()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+}
+
+func TestWaitAdvancesClock(t *testing.T) {
+	e := NewEnv()
+	var at time.Duration
+	e.Go("w", func(p *Proc) {
+		p.Wait(5 * time.Millisecond)
+		at = e.Now()
+	})
+	e.Run()
+	if at != 5*time.Millisecond {
+		t.Fatalf("woke at %v, want 5ms", at)
+	}
+}
+
+func TestSequentialWaits(t *testing.T) {
+	e := NewEnv()
+	var at time.Duration
+	e.Go("w", func(p *Proc) {
+		p.Wait(time.Millisecond)
+		p.Wait(2 * time.Millisecond)
+		p.Wait(3 * time.Millisecond)
+		at = e.Now()
+	})
+	e.Run()
+	if at != 6*time.Millisecond {
+		t.Fatalf("woke at %v, want 6ms", at)
+	}
+}
+
+func TestProcessesInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		e := NewEnv()
+		var order []string
+		for _, n := range []string{"a", "b", "c"} {
+			name := n
+			e.Go(name, func(p *Proc) {
+				for i := 0; i < 3; i++ {
+					p.Wait(time.Millisecond)
+					order = append(order, name)
+				}
+			})
+		}
+		e.Run()
+		return order
+	}
+	first := run()
+	want := []string{"a", "b", "c", "a", "b", "c", "a", "b", "c"}
+	for i := range want {
+		if first[i] != want[i] {
+			t.Fatalf("order = %v, want %v", first, want)
+		}
+	}
+	for trial := 0; trial < 5; trial++ {
+		got := run()
+		for i := range first {
+			if got[i] != first[i] {
+				t.Fatalf("nondeterministic order: %v vs %v", got, first)
+			}
+		}
+	}
+}
+
+func TestZeroDelayEventsFIFO(t *testing.T) {
+	e := NewEnv()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(0, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestRunUntilStopsClock(t *testing.T) {
+	e := NewEnv()
+	ticks := 0
+	e.Go("t", func(p *Proc) {
+		for {
+			p.Wait(time.Second)
+			ticks++
+		}
+	})
+	e.RunUntil(5500 * time.Millisecond)
+	if ticks != 5 {
+		t.Fatalf("ticks = %d, want 5", ticks)
+	}
+	if e.Now() != 5500*time.Millisecond {
+		t.Fatalf("Now() = %v, want 5.5s", e.Now())
+	}
+	e.Close()
+}
+
+func TestRunUntilThenResume(t *testing.T) {
+	e := NewEnv()
+	ticks := 0
+	e.Go("t", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Wait(time.Second)
+			ticks++
+		}
+	})
+	e.RunUntil(3 * time.Second)
+	if ticks != 3 {
+		t.Fatalf("ticks = %d, want 3", ticks)
+	}
+	e.Run()
+	if ticks != 10 {
+		t.Fatalf("ticks = %d after full run, want 10", ticks)
+	}
+}
+
+func TestSignalReleasesAllWaiters(t *testing.T) {
+	e := NewEnv()
+	s := NewSignal(e)
+	woke := 0
+	for i := 0; i < 4; i++ {
+		e.Go("w", func(p *Proc) {
+			p.Await(s)
+			woke++
+		})
+	}
+	e.Go("firer", func(p *Proc) {
+		p.Wait(time.Millisecond)
+		s.Fire()
+	})
+	e.Run()
+	if woke != 4 {
+		t.Fatalf("woke = %d, want 4", woke)
+	}
+}
+
+func TestAwaitFiredSignalReturnsImmediately(t *testing.T) {
+	e := NewEnv()
+	s := NewSignal(e)
+	s.Fire()
+	var at time.Duration
+	e.Go("w", func(p *Proc) {
+		p.Await(s)
+		at = e.Now()
+	})
+	e.Run()
+	if at != 0 {
+		t.Fatalf("woke at %v, want 0", at)
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	e := NewEnv()
+	r := NewResource(e, 1)
+	var ends []time.Duration
+	for i := 0; i < 3; i++ {
+		e.Go("u", func(p *Proc) {
+			r.Acquire(p)
+			p.Wait(10 * time.Millisecond)
+			r.Release()
+			ends = append(ends, e.Now())
+		})
+	}
+	e.Run()
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("ends = %v, want %v", ends, want)
+		}
+	}
+}
+
+func TestResourceCapacityTwo(t *testing.T) {
+	e := NewEnv()
+	r := NewResource(e, 2)
+	var ends []time.Duration
+	for i := 0; i < 4; i++ {
+		e.Go("u", func(p *Proc) {
+			r.Acquire(p)
+			p.Wait(10 * time.Millisecond)
+			r.Release()
+			ends = append(ends, e.Now())
+		})
+	}
+	e.Run()
+	want := []time.Duration{10 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond, 20 * time.Millisecond}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("ends = %v, want %v", ends, want)
+		}
+	}
+}
+
+func TestResourceFIFOOrder(t *testing.T) {
+	e := NewEnv()
+	r := NewResource(e, 1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Go("u", func(p *Proc) {
+			p.Wait(time.Duration(i) * time.Microsecond) // arrival order 0..4
+			r.Acquire(p)
+			order = append(order, i)
+			p.Wait(time.Millisecond)
+			r.Release()
+		})
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("service order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestTryAcquire(t *testing.T) {
+	e := NewEnv()
+	r := NewResource(e, 1)
+	if !r.TryAcquire() {
+		t.Fatal("first TryAcquire failed")
+	}
+	if r.TryAcquire() {
+		t.Fatal("second TryAcquire succeeded on full resource")
+	}
+	r.Release()
+	if !r.TryAcquire() {
+		t.Fatal("TryAcquire after Release failed")
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	e := NewEnv()
+	q := NewQueue[int](e)
+	var got []int
+	e.Go("consumer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			got = append(got, q.Get(p))
+		}
+	})
+	e.Go("producer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Wait(time.Millisecond)
+			q.Put(i)
+		}
+	})
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got = %v, want FIFO 0..4", got)
+		}
+	}
+}
+
+func TestQueueBurstPutWakesAllGetters(t *testing.T) {
+	e := NewEnv()
+	q := NewQueue[int](e)
+	served := 0
+	for i := 0; i < 3; i++ {
+		e.Go("c", func(p *Proc) {
+			q.Get(p)
+			served++
+		})
+	}
+	e.Go("p", func(p *Proc) {
+		p.Wait(time.Millisecond)
+		q.Put(1)
+		q.Put(2)
+		q.Put(3)
+	})
+	e.Run()
+	if served != 3 {
+		t.Fatalf("served = %d, want 3", served)
+	}
+}
+
+func TestJoin(t *testing.T) {
+	e := NewEnv()
+	var at time.Duration
+	worker := e.Go("worker", func(p *Proc) {
+		p.Wait(7 * time.Millisecond)
+	})
+	e.Go("joiner", func(p *Proc) {
+		p.Join(worker)
+		at = e.Now()
+	})
+	e.Run()
+	if at != 7*time.Millisecond {
+		t.Fatalf("join returned at %v, want 7ms", at)
+	}
+}
+
+func TestJoinFinishedProcess(t *testing.T) {
+	e := NewEnv()
+	worker := e.Go("worker", func(p *Proc) {})
+	joined := false
+	e.Go("joiner", func(p *Proc) {
+		p.Wait(time.Millisecond)
+		p.Join(worker)
+		joined = true
+	})
+	e.Run()
+	if !joined {
+		t.Fatal("join on finished process did not return")
+	}
+}
+
+func TestCloseUnwindsBlockedProcesses(t *testing.T) {
+	e := NewEnv()
+	cleaned := 0
+	for i := 0; i < 3; i++ {
+		e.Go("stuck", func(p *Proc) {
+			defer func() { cleaned++ }()
+			p.Wait(time.Hour)
+		})
+	}
+	e.RunUntil(time.Second)
+	e.Close()
+	if cleaned != 3 {
+		t.Fatalf("cleaned = %d, want 3", cleaned)
+	}
+}
+
+func TestProcessPanicPropagates(t *testing.T) {
+	e := NewEnv()
+	e.Go("boom", func(p *Proc) {
+		panic("kaboom")
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run did not propagate process panic")
+		}
+	}()
+	e.Run()
+}
+
+func TestUseReleasesOnReturn(t *testing.T) {
+	e := NewEnv()
+	r := NewResource(e, 1)
+	e.Go("u", func(p *Proc) {
+		r.Use(p, func() { p.Wait(time.Millisecond) })
+		if r.InUse() != 0 {
+			t.Errorf("InUse = %d after Use, want 0", r.InUse())
+		}
+	})
+	e.Run()
+}
+
+func TestByteTime(t *testing.T) {
+	if got := ByteTime(1000, 1000); got != time.Second {
+		t.Fatalf("ByteTime(1000, 1000) = %v, want 1s", got)
+	}
+	if got := ByteTime(0, 1000); got != 0 {
+		t.Fatalf("ByteTime(0, _) = %v, want 0", got)
+	}
+}
+
+func TestLinkSerializesTransfers(t *testing.T) {
+	e := NewEnv()
+	l := NewLink(e, 1e6, 0) // 1 MB/s
+	var ends []time.Duration
+	for i := 0; i < 3; i++ {
+		e.Go("x", func(p *Proc) {
+			l.Transfer(p, 1e5) // 100ms each
+			ends = append(ends, e.Now())
+		})
+	}
+	e.Run()
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 300 * time.Millisecond}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("ends = %v, want %v", ends, want)
+		}
+	}
+	if l.Moved() != 3e5 {
+		t.Fatalf("Moved = %d, want 3e5", l.Moved())
+	}
+}
+
+func TestLinkOverhead(t *testing.T) {
+	e := NewEnv()
+	l := NewLink(e, 1e6, 10*time.Millisecond)
+	var end time.Duration
+	e.Go("x", func(p *Proc) {
+		l.Transfer(p, 1e5)
+		end = e.Now()
+	})
+	e.Run()
+	if end != 110*time.Millisecond {
+		t.Fatalf("end = %v, want 110ms", end)
+	}
+}
+
+func TestSharedLinkFairSharing(t *testing.T) {
+	e := NewEnv()
+	l := NewSharedLink(e, 1e6) // 1 MB/s
+	var ends [2]time.Duration
+	for i := 0; i < 2; i++ {
+		i := i
+		e.Go("x", func(p *Proc) {
+			l.Transfer(p, 1e5)
+			ends[i] = e.Now()
+		})
+	}
+	e.Run()
+	// Two equal transfers sharing the link finish together at 2x the
+	// solo duration.
+	for i, end := range ends {
+		if d := end - 200*time.Millisecond; d < -time.Microsecond || d > time.Microsecond {
+			t.Fatalf("transfer %d ended at %v, want ~200ms", i, end)
+		}
+	}
+}
+
+func TestSharedLinkLateArrival(t *testing.T) {
+	e := NewEnv()
+	l := NewSharedLink(e, 1e6)
+	var endA, endB time.Duration
+	e.Go("a", func(p *Proc) {
+		l.Transfer(p, 1e5) // alone for 50ms (50KB), then shared
+		endA = e.Now()
+	})
+	e.Go("b", func(p *Proc) {
+		p.Wait(50 * time.Millisecond)
+		l.Transfer(p, 1e5)
+		endB = e.Now()
+	})
+	e.Run()
+	// A: 50KB alone (50ms) + 50KB shared (100ms) = done at t=150ms.
+	// B: 50KB shared during those 100ms + 50KB alone (50ms) = done at t=200ms.
+	if d := endA - 150*time.Millisecond; d < -time.Microsecond || d > time.Microsecond {
+		t.Fatalf("A ended at %v, want ~150ms", endA)
+	}
+	if d := endB - 200*time.Millisecond; d < -time.Microsecond || d > time.Microsecond {
+		t.Fatalf("B ended at %v, want ~200ms", endB)
+	}
+}
+
+func TestSharedLinkSequentialTransfers(t *testing.T) {
+	e := NewEnv()
+	l := NewSharedLink(e, 1e6)
+	var end time.Duration
+	e.Go("x", func(p *Proc) {
+		l.Transfer(p, 1e5)
+		l.Transfer(p, 1e5)
+		end = e.Now()
+	})
+	e.Run()
+	if d := end - 200*time.Millisecond; d < -time.Microsecond || d > time.Microsecond {
+		t.Fatalf("end = %v, want ~200ms", end)
+	}
+}
+
+func TestSharedLinkManyConcurrent(t *testing.T) {
+	e := NewEnv()
+	l := NewSharedLink(e, 44e6)
+	done := 0
+	for i := 0; i < 44; i++ {
+		e.Go("x", func(p *Proc) {
+			l.Transfer(p, 1e6)
+			done++
+		})
+	}
+	e.Run()
+	if done != 44 {
+		t.Fatalf("done = %d, want 44", done)
+	}
+	// 44 x 1MB at 44 MB/s aggregate: all finish together at ~1s.
+	if d := e.Now() - time.Second; d < -time.Millisecond || d > time.Millisecond {
+		t.Fatalf("finished at %v, want ~1s", e.Now())
+	}
+}

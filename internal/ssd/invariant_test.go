@@ -1,0 +1,150 @@
+package ssd
+
+import (
+	"math/rand"
+	"testing"
+
+	"sdf/internal/sim"
+)
+
+// checkInvariants validates the FTL's internal consistency:
+//   - every mapped lpn points at a programmed page whose reverse entry
+//     agrees;
+//   - per-block valid counts equal the number of mapping-confirmed
+//     reverse entries;
+//   - no block is both in the free pool and open;
+//   - free-pool entries are unique.
+func checkInvariants(t *testing.T, s *SSD) {
+	t.Helper()
+	type key struct{ ch, pl, b int }
+	validCount := make(map[key]int32)
+	for lpn, l := range s.mapping {
+		if l == unmapped {
+			continue
+		}
+		ch, pl, b, pg := unpackLoc(l)
+		pf := s.channels[ch].planes[pl]
+		if pf.rev[b][pg] != int64(lpn) {
+			t.Fatalf("lpn %d maps to (%d,%d,%d,%d) but reverse entry is %d",
+				lpn, ch, pl, b, pg, pf.rev[b][pg])
+		}
+		if wp := pf.plane.WritePtr(b); wp >= 0 && pg >= wp {
+			t.Fatalf("lpn %d maps past the write pointer (%d >= %d)", lpn, pg, wp)
+		}
+		validCount[key{ch, pl, b}]++
+	}
+	for c, ch := range s.channels {
+		for pi, pf := range ch.planes {
+			seen := make(map[int]bool)
+			for _, b := range pf.free {
+				if seen[b] {
+					t.Fatalf("ch%d.p%d: block %d twice in the free pool", c, pi, b)
+				}
+				seen[b] = true
+				if !pf.pooled[b] {
+					t.Fatalf("ch%d.p%d: block %d in pool but not flagged", c, pi, b)
+				}
+				if b == pf.hostOpen || b == pf.gcOpen {
+					t.Fatalf("ch%d.p%d: open block %d in the free pool", c, pi, b)
+				}
+			}
+			for b := 0; b < pf.plane.Blocks(); b++ {
+				if pf.pooled[b] && !seen[b] {
+					t.Fatalf("ch%d.p%d: block %d flagged pooled but absent", c, pi, b)
+				}
+				if got := validCount[key{c, pi, b}]; pf.valid[b] != got {
+					t.Fatalf("ch%d.p%d block %d: valid=%d, mapping says %d",
+						c, pi, b, pf.valid[b], got)
+				}
+			}
+		}
+	}
+}
+
+func TestFTLInvariantsUnderRandomTraffic(t *testing.T) {
+	prof := Intel320(0.20).ScaleBlocks(16)
+	prof.BufferBytes = 0
+	prof.StaticWL = false
+	env := sim.NewEnv()
+	s, err := New(env, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	pageSize := int64(s.PageSize())
+	slots := s.Capacity() / pageSize
+	w := env.Go("driver", func(p *sim.Proc) {
+		for op := 0; op < 4000; op++ {
+			off := rng.Int63n(slots) * pageSize
+			switch rng.Intn(10) {
+			case 0:
+				n := 1 + rng.Int63n(4)
+				if off+n*pageSize > s.Capacity() {
+					n = 1
+				}
+				if err := s.Trim(p, off, n*pageSize); err != nil {
+					t.Error(err)
+					return
+				}
+			case 1, 2:
+				if err := s.Read(p, off, pageSize); err != nil {
+					t.Error(err)
+					return
+				}
+			default:
+				if err := s.Write(p, off, pageSize); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	})
+	env.RunUntilDone(w)
+	checkInvariants(t, s)
+	env.Close()
+}
+
+func TestFTLInvariantsAfterWarmFillRandom(t *testing.T) {
+	prof := HuaweiGen3(0.25).ScaleBlocks(16)
+	env := sim.NewEnv()
+	s, err := New(env, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WarmFillRandom(1.0, 3); err != nil {
+		t.Fatal(err)
+	}
+	checkInvariants(t, s)
+	env.Close()
+}
+
+func TestFTLInvariantsAfterGCChurn(t *testing.T) {
+	prof := Intel320(0.10).ScaleBlocks(16)
+	prof.BufferBytes = 0
+	env := sim.NewEnv()
+	s, err := New(env, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WarmFillRandom(1.0, 21); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(22))
+	pageSize := int64(s.PageSize())
+	slots := s.Capacity() / pageSize
+	w := env.Go("driver", func(p *sim.Proc) {
+		for op := 0; op < 5000; op++ {
+			off := rng.Int63n(slots) * pageSize
+			if err := s.Write(p, off, pageSize); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	env.RunUntilDone(w)
+	if s.Stats().GCMovedPages == 0 {
+		t.Fatal("GC never ran; churn test ineffective")
+	}
+	checkInvariants(t, s)
+	env.Close()
+}
