@@ -1,0 +1,27 @@
+# Single source of truth for the checks: CI (.github/workflows/ci.yml)
+# calls these same targets, so local `make check` reproduces the gate.
+
+GO ?= go
+
+.PHONY: all build vet test race lint check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# lint runs sdflint, the determinism static-analysis suite
+# (see DESIGN.md "Determinism rules" and internal/lint).
+lint:
+	$(GO) run ./cmd/sdflint ./...
+
+check: build vet race lint

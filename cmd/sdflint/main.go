@@ -1,0 +1,26 @@
+// Command sdflint checks the module against the determinism rules
+// described in DESIGN.md ("Determinism rules"): no wall-clock time in
+// simulation code, no global math/rand, no goroutines outside the
+// deterministic scheduler, no map iteration feeding ordered output.
+//
+// Usage:
+//
+//	go run ./cmd/sdflint ./...
+//	go run ./cmd/sdflint ./internal/ssd ./internal/ccdb/...
+//	go run ./cmd/sdflint -list
+//
+// Findings print as "file:line: [analyzer] message". Exit status is 0
+// for a clean tree, 1 when findings were reported, 2 on usage or load
+// errors. Individual lines can be waived with a mandatory-reason
+// suppression comment: //sdflint:allow <analyzer> <reason>.
+package main
+
+import (
+	"os"
+
+	"sdf/internal/lint"
+)
+
+func main() {
+	os.Exit(lint.Main(".", os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -14,10 +14,10 @@ import (
 // counters, same per-operation trace. This is the property that makes
 // the whole evaluation reproducible.
 func TestDeterministicReplay(t *testing.T) {
-	runOnce := func() (time.Duration, [3]int64, string) {
+	runOnce := func(channels int) (time.Duration, [3]int64, string) {
 		env := sim.NewEnv()
 		cfg := testConfig()
-		cfg.Channels = 8
+		cfg.Channels = channels
 		d, err := New(env, cfg)
 		if err != nil {
 			t.Fatal(err)
@@ -47,15 +47,32 @@ func TestDeterministicReplay(t *testing.T) {
 		env.Close()
 		return now, [3]int64{r, w, e}, trace
 	}
-	t1, c1, tr1 := runOnce()
-	t2, c2, tr2 := runOnce()
-	if t1 != t2 {
-		t.Fatalf("end times differ: %v vs %v", t1, t2)
+	// Replay several channel counts, not just one: each count yields a
+	// different process interleaving, and under `go test -race` (the CI
+	// configuration) any goroutine that escaped the scheduler's
+	// one-process-at-a-time handoff — the property the rawgo lint rule
+	// enforces statically — surfaces as a data race on the shared trace.
+	traces := make(map[int]string)
+	for _, channels := range []int{8, 5, 3} {
+		t1, c1, tr1 := runOnce(channels)
+		t2, c2, tr2 := runOnce(channels)
+		if t1 != t2 {
+			t.Fatalf("channels=%d: end times differ: %v vs %v", channels, t1, t2)
+		}
+		if c1 != c2 {
+			t.Fatalf("channels=%d: counters differ: %v vs %v", channels, c1, c2)
+		}
+		if tr1 != tr2 {
+			t.Fatalf("channels=%d: operation traces differ", channels)
+		}
+		if tr1 == "" {
+			t.Fatalf("channels=%d: empty operation trace", channels)
+		}
+		traces[channels] = tr1
 	}
-	if c1 != c2 {
-		t.Fatalf("counters differ: %v vs %v", c1, c2)
-	}
-	if tr1 != tr2 {
-		t.Fatal("operation traces differ")
+	// Different interleavings must actually be different workloads —
+	// otherwise the loop above re-ran one schedule three times.
+	if traces[8] == traces[5] || traces[5] == traces[3] {
+		t.Fatal("distinct channel counts produced identical traces")
 	}
 }

@@ -1,0 +1,232 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder flags range statements over maps whose body leaks the
+// iteration order: appending to a slice declared outside the loop
+// (unless a deterministic sort of that slice follows in the same
+// block), sending on a channel, or writing to an output sink (fmt
+// print family, Write*/Log*/Trace methods). Go randomizes map
+// iteration order per run, so any of these turns a replayable trace
+// into a roll of the dice. Writes that are order-insensitive —
+// counters, min/max folds, building another map — pass untouched.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration feeding slices/traces/channels without a deterministic sort",
+	Applies: func(f *File) bool {
+		return !f.IsTest() && f.In("internal")
+	},
+	Run: runMapOrder,
+}
+
+// outputCallNames are method/function names treated as ordered output
+// sinks when called inside a map iteration.
+var outputCallNames = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Log": true, "Logf": true, "Trace": true, "Record": true,
+}
+
+// sortCallNames are the sort/slices package functions accepted as a
+// deterministic re-ordering of an appended slice.
+var sortCallNames = map[string]bool{
+	"Sort": true, "SortFunc": true, "SortStableFunc": true, "Stable": true,
+	"Slice": true, "SliceStable": true,
+	"Strings": true, "Ints": true, "Float64s": true,
+}
+
+func runMapOrder(f *File) []Finding {
+	var findings []Finding
+	// Range statements only ever appear inside statement lists, so
+	// walking the lists gives us both the loop and the statements that
+	// follow it (where a sort may re-establish determinism).
+	eachStmtList(f.AST, func(list []ast.Stmt) {
+		for i, stmt := range list {
+			rs, ok := stmt.(*ast.RangeStmt)
+			if !ok || !isMapType(f.Module.typeOf(rs.X)) {
+				continue
+			}
+			findings = append(findings, checkMapRange(f, rs, list[i+1:])...)
+		}
+	})
+	return findings
+}
+
+// eachStmtList invokes fn on every []ast.Stmt in the file.
+func eachStmtList(root ast.Node, fn func([]ast.Stmt)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.BlockStmt:
+			fn(s.List)
+		case *ast.CaseClause:
+			fn(s.Body)
+		case *ast.CommClause:
+			fn(s.Body)
+		}
+		return true
+	})
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRange inspects one map-range body for order-leaking sinks.
+// rest holds the statements after the loop in the enclosing block,
+// scanned for a sort that clears append sinks.
+func checkMapRange(f *File, rs *ast.RangeStmt, rest []ast.Stmt) []Finding {
+	var findings []Finding
+	m := f.Module
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.SendStmt:
+			findings = append(findings, f.finding("maporder", s.Pos(),
+				"send on a channel inside map iteration publishes values in random order; "+
+					"iterate over sorted keys instead"))
+		case *ast.CallExpr:
+			if name, ok := outputCall(s); ok {
+				findings = append(findings, f.finding("maporder", s.Pos(),
+					"%s inside map iteration emits output in random order; "+
+						"iterate over sorted keys instead", name))
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range s.Rhs {
+				target := appendTarget(s, i, rhs)
+				if target == nil {
+					continue
+				}
+				obj := m.objectOf(target)
+				if obj != nil && posWithin(obj.Pos(), rs.Body) {
+					continue // per-iteration slice; order cannot escape
+				}
+				if sortedAfter(m, target, obj, rest) {
+					continue
+				}
+				findings = append(findings, f.finding("maporder", rhs.Pos(),
+					"append to %q inside map iteration collects elements in random order "+
+						"with no deterministic sort afterwards; sort the slice (sort.* / slices.Sort*) "+
+						"or iterate over sorted keys", target.Name))
+			}
+		}
+		return true
+	})
+	return findings
+}
+
+// outputCall reports whether the call is an output sink, returning a
+// printable name for the message.
+func outputCall(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if !outputCallNames[sel.Sel.Name] {
+		return "", false
+	}
+	if x, ok := sel.X.(*ast.Ident); ok {
+		return x.Name + "." + sel.Sel.Name, true
+	}
+	return sel.Sel.Name, true
+}
+
+// appendTarget returns the identifier that accumulates an append, for
+// assignments shaped like `x = append(x, ...)` / `x := append(y, ...)`.
+// Appends assigned through a selector or index expression are treated
+// as escaping to an outer variable and returned via their base ident.
+func appendTarget(assign *ast.AssignStmt, i int, rhs ast.Expr) *ast.Ident {
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	fun, ok := call.Fun.(*ast.Ident)
+	if !ok || fun.Name != "append" {
+		return nil
+	}
+	if i >= len(assign.Lhs) {
+		return nil
+	}
+	return baseIdent(assign.Lhs[i])
+}
+
+// baseIdent strips selectors/indexing/parens down to the base ident.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			return x.Sel
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// sortedAfter reports whether any statement after the loop calls a
+// sort/slices sorting function over the appended target. Matching is
+// by types.Object when available, falling back to the identifier name.
+func sortedAfter(m *Module, target *ast.Ident, obj types.Object, rest []ast.Stmt) bool {
+	for _, stmt := range rest {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !sortCallNames[sel.Sel.Name] {
+				return true
+			}
+			pkgID, ok := sel.X.(*ast.Ident)
+			if !ok || (pkgID.Name != "sort" && pkgID.Name != "slices") {
+				return true
+			}
+			for _, arg := range call.Args {
+				if mentionsIdent(m, arg, target, obj) {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// mentionsIdent reports whether expr references the same object (or,
+// without type info, the same name) as target.
+func mentionsIdent(m *Module, expr ast.Expr, target *ast.Ident, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		if obj != nil {
+			if m.objectOf(id) == obj {
+				found = true
+			}
+		} else if id.Name == target.Name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,34 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// RawGo forbids raw go statements in sim-domain packages. A goroutine
+// the scheduler does not know about runs under the host scheduler's
+// timing, so its effects land at nondeterministic points in virtual
+// time; all concurrency must be spawned via (*sim.Env).Go, which
+// parks and resumes processes in strict (time, sequence) order.
+// internal/sim itself is the one place allowed to touch the primitive,
+// since that is where the deterministic handoff is implemented.
+var RawGo = &Analyzer{
+	Name: "rawgo",
+	Doc:  "forbid raw go statements in internal/ packages except internal/sim",
+	Applies: func(f *File) bool {
+		return f.In("internal") && !f.In("internal/sim")
+	},
+	Run: runRawGo,
+}
+
+func runRawGo(f *File) []Finding {
+	var findings []Finding
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			findings = append(findings, f.finding("rawgo", g.Pos(),
+				"raw go statement bypasses the deterministic scheduler; "+
+					"spawn simulation processes with (*sim.Env).Go"))
+		}
+		return true
+	})
+	return findings
+}

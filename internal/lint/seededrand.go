@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// globalRandFuncs is the set of package-level math/rand functions that
+// draw from the process-global, racily shared source. Constructors
+// (New, NewSource, NewZipf) and the *rand.Rand methods reached through
+// them are the sanctioned path and stay legal.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+}
+
+// SeededRand forbids the package-level math/rand functions in non-test
+// internal/ code. Those draw from a global source that is seeded once
+// per process and shared across goroutines, so two runs (or two tests
+// in one binary) interleave differently; determinism requires an
+// explicit *rand.Rand built from a config-threaded seed, the way
+// internal/nand and internal/workload already do.
+var SeededRand = &Analyzer{
+	Name: "seededrand",
+	Doc:  "forbid package-level math/rand functions in non-test internal/ code",
+	Applies: func(f *File) bool {
+		return !f.IsTest() && f.In("internal")
+	},
+	Run: runSeededRand,
+}
+
+func runSeededRand(f *File) []Finding {
+	var findings []Finding
+	check := func(pkgPath string) {
+		f.eachPkgRef(pkgPath, func(sel *ast.SelectorExpr) {
+			if !globalRandFuncs[sel.Sel.Name] {
+				return
+			}
+			findings = append(findings, f.finding("seededrand", sel.Pos(),
+				"rand.%s uses the global math/rand source; thread a seeded *rand.Rand "+
+					"(rand.New(rand.NewSource(seed))) through the config instead",
+				sel.Sel.Name))
+		})
+	}
+	check("math/rand")
+	check("math/rand/v2")
+	return findings
+}

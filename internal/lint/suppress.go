@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"strings"
+)
+
+// suppressionSet records which analyzers are waived on which lines.
+// A suppression comment covers its own line (trailing-comment style)
+// and the line immediately below it (comment-above style).
+type suppressionSet map[int]map[string]bool
+
+func (s suppressionSet) allows(analyzer string, line int) bool {
+	return s[line][analyzer]
+}
+
+func (s suppressionSet) add(analyzer string, line int) {
+	if s[line] == nil {
+		s[line] = make(map[string]bool)
+	}
+	s[line][analyzer] = true
+}
+
+// allowDirective holds one parsed //sdflint:allow comment.
+type allowDirective struct {
+	Analyzer string
+	Reason   string
+}
+
+// parseAllow parses the text of a single comment. It returns
+// (nil, false) for comments that are not suppression directives at
+// all, and (nil, true) for directives that are malformed — missing
+// analyzer, unknown analyzer, or missing reason.
+func parseAllow(text string, known map[string]bool) (*allowDirective, bool) {
+	body, ok := strings.CutPrefix(text, "//")
+	if !ok {
+		body, ok = strings.CutPrefix(text, "/*")
+		if !ok {
+			return nil, false
+		}
+		body = strings.TrimSuffix(body, "*/")
+	}
+	// Accept both the directive form //sdflint:allow and the spaced
+	// form // sdflint:allow; the directive form is canonical (gofmt
+	// keeps it flush, like //go: directives).
+	body = strings.TrimSpace(body)
+	rest, ok := strings.CutPrefix(body, "sdflint:allow")
+	if !ok {
+		return nil, false
+	}
+	if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+		return nil, false // e.g. sdflint:allowance — not this directive
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil, true // no analyzer
+	}
+	if !known[fields[0]] {
+		return nil, true // unknown analyzer
+	}
+	if len(fields) < 2 {
+		return nil, true // reason is mandatory
+	}
+	return &allowDirective{Analyzer: fields[0], Reason: strings.Join(fields[1:], " ")}, true
+}
+
+// fileSuppressions scans every comment in the file for suppression
+// directives. Malformed directives are returned as findings under the
+// pseudo-analyzer name "sdflint" and waive nothing.
+func fileSuppressions(f *File) (suppressionSet, []Finding) {
+	known := analyzerNames()
+	set := make(suppressionSet)
+	var bad []Finding
+	for _, group := range f.AST.Comments {
+		for _, c := range group.List {
+			d, isDirective := parseAllow(c.Text, known)
+			if !isDirective {
+				continue
+			}
+			_, line, col := f.Pos(c.Pos())
+			if d == nil {
+				bad = append(bad, Finding{
+					File: f.Path, Line: line, Col: col, Analyzer: "sdflint",
+					Message: "malformed suppression: want //sdflint:allow <analyzer> <reason> " +
+						"with a known analyzer and a non-empty reason",
+				})
+				continue
+			}
+			set.add(d.Analyzer, line)
+			set.add(d.Analyzer, line+1)
+		}
+	}
+	return set, bad
+}

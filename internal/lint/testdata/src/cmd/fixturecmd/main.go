@@ -1,0 +1,13 @@
+// Command fixturecmd shows that cmd/ binaries run in wall-clock land:
+// nowallclock and seededrand do not apply here.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func main() {
+	fmt.Println(time.Now(), rand.Intn(10))
+}

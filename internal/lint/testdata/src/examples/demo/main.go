@@ -1,0 +1,12 @@
+// Example binaries are host-side too; the wall clock is fine here.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	start := time.Now()
+	fmt.Println(time.Since(start))
+}

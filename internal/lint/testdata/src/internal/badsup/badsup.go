@@ -1,0 +1,12 @@
+// Package badsup exercises the suppression parser's failure modes:
+// a directive with no reason, and one naming an unknown analyzer.
+// Malformed directives are findings themselves and waive nothing.
+package badsup
+
+import "time"
+
+//sdflint:allow nowallclock
+func MissingReason() time.Time { return time.Now() } // want-1(sdflint) want(nowallclock)
+
+//sdflint:allow notananalyzer because I said so
+func UnknownAnalyzer() time.Time { return time.Now() } // want-1(sdflint) want(nowallclock)

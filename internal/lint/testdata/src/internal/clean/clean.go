@@ -1,0 +1,27 @@
+// Package clean violates nothing: virtual-time friendly code that the
+// suite must pass untouched.
+package clean
+
+import (
+	"sort"
+	"time"
+)
+
+// Latency is duration arithmetic, not a clock read.
+func Latency(ops int, per time.Duration) time.Duration {
+	return time.Duration(ops) * per
+}
+
+// Ordered drains a map deterministically.
+func Ordered(m map[int]string) []string {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}

@@ -1,0 +1,35 @@
+// Package clockuse exercises the nowallclock analyzer: wall-clock
+// reads and timers are violations, pure time.Duration arithmetic is
+// not, and suppressions with a reason are honored.
+package clockuse
+
+import "time"
+
+// Tick is fine: Duration values are arithmetic, not clock reads.
+const Tick = 10 * time.Millisecond
+
+func Deadline() time.Time {
+	return time.Now() // want(nowallclock)
+}
+
+func Pause() {
+	time.Sleep(Tick) // want(nowallclock)
+}
+
+func Timers() {
+	t := time.NewTimer(time.Second) // want(nowallclock)
+	<-t.C
+	ch := time.After(time.Second) // want(nowallclock)
+	<-ch
+}
+
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want(nowallclock)
+}
+
+//sdflint:allow nowallclock host-side startup stamp, never fed into virtual time
+func Allowed() time.Time { return time.Now() }
+
+func AllowedInline() time.Time {
+	return time.Now() //sdflint:allow nowallclock log decoration only
+}

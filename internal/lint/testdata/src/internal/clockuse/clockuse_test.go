@@ -1,0 +1,13 @@
+package clockuse
+
+import (
+	"testing"
+	"time"
+)
+
+// Tests run on the host clock and are exempt from nowallclock.
+func TestWallClockAllowedInTests(t *testing.T) {
+	if time.Now().IsZero() {
+		t.Fatal("clock")
+	}
+}

@@ -1,0 +1,110 @@
+// Package mapuse exercises the maporder analyzer: map iterations that
+// leak Go's randomized iteration order into slices, channels or output
+// are violations; folds, map-building and the collect-then-sort idiom
+// are not.
+package mapuse
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// SortedKeys is the canonical clean idiom: collect, then sort.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SortedPairs clears the append through sort.Slice too.
+func SortedPairs(m map[string]int) []string {
+	var out []string
+	for k, v := range m {
+		out = append(out, fmt.Sprintf("%s=%d", k, v))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Unsorted leaks iteration order into the returned slice.
+func Unsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want(maporder)
+	}
+	return out
+}
+
+// Dump writes output in iteration order.
+func Dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want(maporder)
+	}
+}
+
+// Send publishes values in iteration order.
+func Send(ch chan<- string, m map[string]int) {
+	for k := range m {
+		ch <- k // want(maporder)
+	}
+}
+
+// registry carries a slice behind a field; sorting it after the loop
+// keeps the field append clean.
+type registry struct {
+	names []string
+}
+
+func (r *registry) Collect(m map[string]bool) {
+	for k := range m {
+		r.names = append(r.names, k)
+	}
+	sort.Strings(r.names)
+}
+
+func (r *registry) CollectUnsorted(m map[string]bool) {
+	for k := range m {
+		r.names = append(r.names, k) // want(maporder)
+	}
+}
+
+// Total is an order-insensitive fold: no finding.
+func Total(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Invert builds another map: insertion order does not matter.
+func Invert(m map[string]int) map[int]string {
+	inv := make(map[int]string, len(m))
+	for k, v := range m {
+		inv[v] = k
+	}
+	return inv
+}
+
+// CopyValues appends only to a slice scoped inside the loop body.
+func CopyValues(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		tmp := append([]int(nil), vs...)
+		n += len(tmp)
+	}
+	return n
+}
+
+// Stable is allowed by suppression: the caller sorts the result.
+func Stable(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) //sdflint:allow maporder callers sort; kept raw to test suppression
+	}
+	return out
+}

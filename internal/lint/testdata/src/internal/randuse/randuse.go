@@ -1,0 +1,31 @@
+// Package randuse exercises the seededrand analyzer: package-level
+// math/rand draws are violations, explicit seeded *rand.Rand streams
+// are the sanctioned replacement.
+package randuse
+
+import "math/rand"
+
+func Global() int {
+	return rand.Intn(10) // want(seededrand)
+}
+
+func GlobalFloat() float64 {
+	return rand.Float64() // want(seededrand)
+}
+
+func Reseed() {
+	rand.Seed(42) // want(seededrand)
+}
+
+func Shuffled(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want(seededrand)
+}
+
+// Seeded is the correct pattern: a stream built from a threaded seed.
+func Seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+//sdflint:allow seededrand jitter for a host-side poller, not on the replayed path
+func Allowed() int { return rand.Int() }

@@ -1,0 +1,14 @@
+// Package sim stands in for the real scheduler package: the one place
+// where the raw go primitive is legal, because this is where the
+// deterministic handoff is implemented.
+package sim
+
+// Go runs fn as a (fixture) scheduler-owned process.
+func Go(fn func()) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fn()
+	}()
+	<-done
+}

@@ -1,0 +1,19 @@
+// Package spawnuse exercises the rawgo analyzer: goroutines outside
+// the deterministic scheduler are violations everywhere in internal/
+// except the scheduler package itself.
+package spawnuse
+
+func Workers(n int, fn func(int)) {
+	for i := 0; i < n; i++ {
+		go fn(i) // want(rawgo)
+	}
+}
+
+func Background(fn func()) {
+	go func() { // want(rawgo)
+		fn()
+	}()
+}
+
+//sdflint:allow rawgo bridges to a host I/O thread outside the simulation
+func Bridge(fn func()) { go fn() }

@@ -1,0 +1,13 @@
+package spawnuse
+
+import "testing"
+
+// Raw goroutines desynchronize tests exactly like library code, so
+// rawgo applies to _test.go files too.
+func TestSpawn(t *testing.T) {
+	done := make(chan struct{})
+	go func() { // want(rawgo)
+		close(done)
+	}()
+	<-done
+}

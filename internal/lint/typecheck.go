@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/token"
+	"go/types"
+)
+
+// typecheck resolves types for the non-test files of every package, in
+// dependency order. Errors are tolerated: a package that fails to check
+// simply contributes no entries to m.Info, and type-driven analyzers
+// (maporder) skip constructs they cannot resolve. Test files are not
+// checked — every analyzer that needs type information excludes them
+// by scope anyway.
+func (m *Module) typecheck() {
+	byPath := make(map[string]*Package, len(m.Pkgs))
+	for _, pkg := range m.Pkgs {
+		byPath[pkg.ImportPath] = pkg
+	}
+	imp := &moduleImporter{
+		module: byPath,
+		std:    importer.Default(),
+		srcFor: func() types.Importer { return importer.ForCompiler(m.Fset, "source", nil) },
+	}
+	cfg := &types.Config{
+		Importer:         imp,
+		FakeImportC:      true,
+		Error:            func(error) {}, // collect what resolves, ignore the rest
+		IgnoreFuncBodies: false,
+	}
+	checked := make(map[*Package]bool)
+	var check func(pkg *Package)
+	check = func(pkg *Package) {
+		if checked[pkg] {
+			return
+		}
+		checked[pkg] = true // pre-mark: tolerate import cycles
+		for _, dep := range pkg.localDeps {
+			if d := byPath[dep]; d != nil {
+				check(d)
+			}
+		}
+		var files []*ast.File
+		for _, f := range pkg.Files {
+			if !f.IsTest() {
+				files = append(files, f.AST)
+			}
+		}
+		if len(files) == 0 {
+			return
+		}
+		// Check never returns a nil package; errors still leave partial
+		// type information in m.Info, which is all the analyzers need.
+		pkg.Types, _ = cfg.Check(pkg.ImportPath, m.Fset, files, m.Info)
+	}
+	for _, pkg := range m.Pkgs {
+		check(pkg)
+	}
+}
+
+// moduleImporter resolves module-local packages from the in-memory
+// build and everything else from the toolchain: compiled export data
+// when available, falling back to type-checking the dependency from
+// source under GOROOT.
+type moduleImporter struct {
+	module map[string]*Package
+	std    types.Importer
+	srcFor func() types.Importer
+	src    types.Importer
+	cache  map[string]*types.Package
+}
+
+func (imp *moduleImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := imp.module[path]; ok {
+		if pkg.Types == nil {
+			return nil, fmt.Errorf("module package %s not yet checked", path)
+		}
+		return pkg.Types, nil
+	}
+	if cached, ok := imp.cache[path]; ok {
+		return cached, nil
+	}
+	p, err := imp.std.Import(path)
+	if err != nil {
+		if imp.src == nil {
+			imp.src = imp.srcFor()
+		}
+		p, err = imp.src.Import(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if imp.cache == nil {
+		imp.cache = make(map[string]*types.Package)
+	}
+	imp.cache[path] = p
+	return p, nil
+}
+
+// typeOf returns the resolved type of an expression, or nil when the
+// checker could not resolve it.
+func (m *Module) typeOf(e ast.Expr) types.Type {
+	if m.Info == nil {
+		return nil
+	}
+	if tv, ok := m.Info.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj, ok := m.Info.Uses[id]; ok && obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// objectOf returns the object an identifier denotes, or nil.
+func (m *Module) objectOf(id *ast.Ident) types.Object {
+	if m.Info == nil {
+		return nil
+	}
+	if obj, ok := m.Info.Uses[id]; ok {
+		return obj
+	}
+	return m.Info.Defs[id]
+}
+
+// posWithin reports whether pos falls inside the source range of node.
+func posWithin(pos token.Pos, node ast.Node) bool {
+	return node != nil && pos >= node.Pos() && pos <= node.End()
+}
