@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint check
+.PHONY: all build vet test race lint trace-smoke check
 
 all: check
 
@@ -23,5 +23,16 @@ race:
 # (see DESIGN.md "Determinism rules" and internal/lint).
 lint:
 	$(GO) run ./cmd/sdflint ./...
+
+# trace-smoke runs one traced experiment twice and requires the trace
+# files to be byte-identical — the end-to-end form of the determinism
+# guarantee the replay tests check in-process.
+trace-smoke:
+	$(GO) run ./cmd/sdfbench -quick -trace trace-a.json figure8
+	$(GO) run ./cmd/sdfbench -quick -trace trace-b.json figure8
+	cmp trace-a.json trace-b.json
+	cmp trace-a.jsonl trace-b.jsonl
+	$(GO) run ./cmd/sdfctl trace summarize trace-a.jsonl
+	rm -f trace-b.json trace-b.jsonl
 
 check: build vet race lint

@@ -4,16 +4,24 @@
 //
 // Usage:
 //
-//	sdfbench [-quick] [-list] [experiment ...]
+//	sdfbench [-quick] [-list] [-json] [-trace out.json] [experiment ...]
 //
 // With no arguments every experiment runs in order. Experiment names
 // are case-insensitive: table1, figure1, table4, figure7, figure8,
 // figure10, figure11, figure12, figure13, figure14, stack, erase,
 // and the ablations (stripe, buffer, erasesched, sdfop, interrupts,
 // parity, staticwl).
+//
+// -json writes one BENCH_<experiment>.json per experiment with the raw
+// measured metrics next to the formatted rows. -trace collects
+// virtual-time trace events from the experiments that support tracing
+// (figure8) and writes a Chrome trace-event file to the given path plus
+// a canonical JSONL stream alongside it; both are deterministic, so two
+// runs of the same experiment produce byte-identical files.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +29,7 @@ import (
 	"time"
 
 	"sdf/internal/experiments"
+	"sdf/internal/trace"
 )
 
 type entry struct {
@@ -57,6 +66,9 @@ var registry = []entry{
 func main() {
 	quick := flag.Bool("quick", false, "shorter measurement windows")
 	list := flag.Bool("list", false, "list experiments and exit")
+	jsonOut := flag.Bool("json", false, "write BENCH_<experiment>.json per experiment")
+	tracePath := flag.String("trace", "", "write a Chrome trace to this path (and JSONL alongside)")
+	traceFull := flag.Bool("trace-full", false, "with -trace, also record kernel events (spawn/park/acquire/xfer)")
 	flag.Parse()
 
 	if *list {
@@ -66,6 +78,12 @@ func main() {
 		return
 	}
 	opts := experiments.Options{Quick: *quick}
+	if *tracePath != "" {
+		opts.Tracer = trace.NewCollector()
+		if *traceFull {
+			opts.Tracer.SetLevel(trace.LevelFull)
+		}
+	}
 
 	want := flag.Args()
 	selected := registry
@@ -91,5 +109,89 @@ func main() {
 		tab := e.run(opts)
 		fmt.Print(tab.String())
 		fmt.Printf("(%s in %.1fs wall)\n\n", e.name, time.Since(start).Seconds())
+		if *jsonOut {
+			if err := writeBenchJSON(e.name, tab, opts.Quick); err != nil {
+				fmt.Fprintf(os.Stderr, "sdfbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	}
+	if opts.Tracer != nil {
+		if err := writeTraces(*tracePath, opts.Tracer); err != nil {
+			fmt.Fprintf(os.Stderr, "sdfbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// benchDoc is the machine-readable result schema for -json.
+type benchDoc struct {
+	Experiment string             `json:"experiment"`
+	ID         string             `json:"id"`
+	Title      string             `json:"title"`
+	Quick      bool               `json:"quick"`
+	Header     []string           `json:"header"`
+	Rows       [][]string         `json:"rows"`
+	Notes      []string           `json:"notes,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// writeBenchJSON writes BENCH_<name>.json into the current directory.
+// encoding/json sorts map keys, so the output is deterministic.
+func writeBenchJSON(name string, tab experiments.Table, quick bool) error {
+	doc := benchDoc{
+		Experiment: name,
+		ID:         tab.ID,
+		Title:      tab.Title,
+		Quick:      quick,
+		Header:     tab.Header,
+		Rows:       tab.Rows,
+		Notes:      tab.Notes,
+		Metrics:    tab.Metrics,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := fmt.Sprintf("BENCH_%s.json", name)
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d metrics)\n\n", path, len(tab.Metrics))
+	return nil
+}
+
+// writeTraces writes the Chrome trace to chromePath and the canonical
+// JSONL stream next to it (same path with a .jsonl extension).
+func writeTraces(chromePath string, c *trace.Collector) error {
+	if c.Len() == 0 {
+		fmt.Fprintln(os.Stderr, "sdfbench: no trace events collected (only figure8 emits traces)")
+		return nil
+	}
+	chrome, err := os.Create(chromePath)
+	if err != nil {
+		return err
+	}
+	if err := c.WriteChrome(chrome); err != nil {
+		chrome.Close()
+		return err
+	}
+	if err := chrome.Close(); err != nil {
+		return err
+	}
+	jsonlPath := strings.TrimSuffix(chromePath, ".json") + ".jsonl"
+	jsonl, err := os.Create(jsonlPath)
+	if err != nil {
+		return err
+	}
+	if err := c.WriteJSONL(jsonl); err != nil {
+		jsonl.Close()
+		return err
+	}
+	if err := jsonl.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s and %s (%d events, sha256 %s)\n",
+		chromePath, jsonlPath, c.Len(), c.Hash()[:12])
+	return nil
 }

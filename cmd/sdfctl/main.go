@@ -11,6 +11,11 @@
 //	exercise  erase/write/read every channel once and report timing
 //	wear      hammer one channel and report wear leveling and ECC stats
 //	stack     compare the kernel and bypass software paths
+//
+//	trace summarize <file.jsonl>
+//	          read a JSONL trace written by sdfbench -trace and print
+//	          the per-stage latency breakdown (count/mean/p50/p99 per
+//	          phase per device)
 package main
 
 import (
@@ -25,14 +30,15 @@ import (
 	"sdf/internal/hostif"
 	"sdf/internal/metrics"
 	"sdf/internal/sim"
+	"sdf/internal/trace"
 )
 
 func main() {
 	channels := flag.Int("channels", 44, "flash channels")
 	blocks := flag.Int("blocks", 16, "erase blocks per plane (scaled geometry)")
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: sdfctl [-channels N] [-blocks N] info|exercise|wear|stack")
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: sdfctl [-channels N] [-blocks N] info|exercise|wear|stack|trace")
 		os.Exit(2)
 	}
 
@@ -45,10 +51,37 @@ func main() {
 		wear()
 	case "stack":
 		stack()
+	case "trace":
+		if flag.NArg() != 3 || flag.Arg(1) != "summarize" {
+			fmt.Fprintln(os.Stderr, "usage: sdfctl trace summarize <file.jsonl>")
+			os.Exit(2)
+		}
+		traceSummarize(flag.Arg(2))
 	default:
 		fmt.Fprintf(os.Stderr, "sdfctl: unknown command %q\n", flag.Arg(0))
 		os.Exit(2)
 	}
+}
+
+// traceSummarize reads a canonical JSONL trace and prints the
+// per-(device, phase, span) latency table.
+func traceSummarize(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	events, err := trace.ReadJSONL(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := trace.Summarize(events)
+	if len(stats) == 0 {
+		fmt.Println("no completed spans in trace")
+		return
+	}
+	fmt.Printf("%d events, %d span groups\n\n", len(events), len(stats))
+	fmt.Print(trace.FormatSummary(stats))
 }
 
 func newDevice(channels, blocks int) (*sim.Env, *core.Device) {

@@ -16,6 +16,7 @@ import (
 
 	"sdf/internal/core"
 	"sdf/internal/sim"
+	"sdf/internal/trace"
 )
 
 // Layer errors.
@@ -137,6 +138,22 @@ func (l *Layer) BlockSize() int { return l.dev.BlockSize() }
 // PageSize returns the read unit (8 KB).
 func (l *Layer) PageSize() int { return l.dev.PageSize() }
 
+// beginOp opens a root span for one block-layer request, reparenting
+// p under it for the duration. The returned func closes it.
+func (l *Layer) beginOp(p *sim.Proc, name string) func() {
+	t := l.env.Tracer()
+	if t == nil {
+		return func() {}
+	}
+	prev := p.Span()
+	op := t.Begin(l.env.Now(), prev, name, trace.PhaseOp)
+	p.SetSpan(op)
+	return func() {
+		p.SetSpan(prev)
+		t.End(l.env.Now(), op)
+	}
+}
+
 // pickChannel applies the placement policy for a new write.
 func (l *Layer) pickChannel(id BlockID) int {
 	if l.cfg.Placement == PlacementHash {
@@ -169,6 +186,8 @@ func (l *Layer) Write(p *sim.Proc, id BlockID, data []byte) (Handle, error) {
 	if _, ok := l.blocks[id]; ok {
 		return Handle{}, fmt.Errorf("%w: %d", ErrDuplicateID, id)
 	}
+	end := l.beginOp(p, "blocklayer/write")
+	defer end()
 	c := l.pickChannel(id)
 	cs := l.chans[c]
 	l.inflight[c]++
@@ -204,6 +223,8 @@ func (l *Layer) Read(p *sim.Proc, id BlockID, off, size int) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownID, id)
 	}
+	end := l.beginOp(p, "blocklayer/read")
+	defer end()
 	l.reads++
 	return l.dev.Read(p, h.Channel, h.LBN, off, size)
 }

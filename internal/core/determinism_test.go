@@ -7,22 +7,27 @@ import (
 	"time"
 
 	"sdf/internal/sim"
+	"sdf/internal/trace"
 )
 
 // TestDeterministicReplay runs an identical mixed workload twice and
 // requires bit-identical results: same virtual end time, same
-// counters, same per-operation trace. This is the property that makes
-// the whole evaluation reproducible.
+// counters, same per-operation trace, and — the strongest form — the
+// same SHA-256 over the full kernel-level event trace. This is the
+// property that makes the whole evaluation reproducible.
 func TestDeterministicReplay(t *testing.T) {
-	runOnce := func(channels int) (time.Duration, [3]int64, string) {
+	runOnce := func(channels int) (time.Duration, [3]int64, string, string) {
 		env := sim.NewEnv()
+		collector := trace.NewCollector()
+		collector.SetLevel(trace.LevelFull)
+		env.SetTracer(collector)
 		cfg := testConfig()
 		cfg.Channels = channels
 		d, err := New(env, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		trace := ""
+		opTrace := ""
 		for ch := 0; ch < d.Channels(); ch++ {
 			ch := ch
 			rng := rand.New(rand.NewSource(int64(ch)))
@@ -37,7 +42,7 @@ func TestDeterministicReplay(t *testing.T) {
 						t.Error(err)
 						return
 					}
-					trace += fmt.Sprintf("%d:%v;", ch, env.Now())
+					opTrace += fmt.Sprintf("%d:%v;", ch, env.Now())
 				}
 			})
 		}
@@ -45,7 +50,10 @@ func TestDeterministicReplay(t *testing.T) {
 		now := env.Now()
 		r, w, e := d.Counters()
 		env.Close()
-		return now, [3]int64{r, w, e}, trace
+		if collector.Len() == 0 {
+			t.Fatal("full-level collector recorded no events")
+		}
+		return now, [3]int64{r, w, e}, opTrace, collector.Hash()
 	}
 	// Replay several channel counts, not just one: each count yields a
 	// different process interleaving, and under `go test -race` (the CI
@@ -54,8 +62,8 @@ func TestDeterministicReplay(t *testing.T) {
 	// enforces statically — surfaces as a data race on the shared trace.
 	traces := make(map[int]string)
 	for _, channels := range []int{8, 5, 3} {
-		t1, c1, tr1 := runOnce(channels)
-		t2, c2, tr2 := runOnce(channels)
+		t1, c1, tr1, h1 := runOnce(channels)
+		t2, c2, tr2, h2 := runOnce(channels)
 		if t1 != t2 {
 			t.Fatalf("channels=%d: end times differ: %v vs %v", channels, t1, t2)
 		}
@@ -67,6 +75,9 @@ func TestDeterministicReplay(t *testing.T) {
 		}
 		if tr1 == "" {
 			t.Fatalf("channels=%d: empty operation trace", channels)
+		}
+		if h1 != h2 {
+			t.Fatalf("channels=%d: full trace hashes differ: %s vs %s", channels, h1, h2)
 		}
 		traces[channels] = tr1
 	}

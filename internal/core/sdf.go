@@ -13,10 +13,12 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"sdf/internal/flashchan"
 	"sdf/internal/hostif"
 	"sdf/internal/sim"
+	"sdf/internal/trace"
 )
 
 // Config assembles an SDF device.
@@ -67,9 +69,56 @@ func New(env *sim.Env, cfg Config) (*Device, error) {
 		if err != nil {
 			return nil, err
 		}
+		ch.SetLabel(fmt.Sprintf("chan%d", i))
 		d.channels = append(d.channels, ch)
 	}
 	return d, nil
+}
+
+// beginOp opens the root span of one device operation and reparents p
+// under it so every instrumented layer below attributes to this I/O.
+// The returned func restores p and closes the span; call it when the
+// operation completes (error paths included).
+func (d *Device) beginOp(p *sim.Proc, name string) func() {
+	t := d.env.Tracer()
+	if t == nil {
+		return func() {}
+	}
+	prev := p.Span()
+	op := t.Begin(d.env.Now(), prev, name, trace.PhaseOp)
+	p.SetSpan(op)
+	return func() {
+		p.SetSpan(prev)
+		t.End(d.env.Now(), op)
+	}
+}
+
+// StartSampler schedules a periodic time-series sampler that records
+// each channel's instantaneous queue depth and busy flag as counter
+// events until the given virtual instant. It must be called before
+// Run: sampling stops by itself, so it does not keep the event loop
+// alive past `until`. No-op without a tracer.
+func (d *Device) StartSampler(interval, until time.Duration) {
+	t := d.env.Tracer()
+	if t == nil || interval <= 0 {
+		return
+	}
+	var tick func()
+	tick = func() {
+		now := d.env.Now()
+		for i, ch := range d.channels {
+			t.Counter(now, fmt.Sprintf("chan%d/qdepth", i), int64(ch.QueueDepth()))
+			busy := int64(0)
+			if !ch.Idle() {
+				busy = 1
+			}
+			t.Counter(now, fmt.Sprintf("chan%d/busy", i), busy)
+		}
+		if now+interval <= until {
+			d.env.Schedule(interval, tick)
+		}
+	}
+	d.env.Schedule(0, tick)
 }
 
 // Channels returns the number of exposed channels.
@@ -132,15 +181,22 @@ func (d *Device) Read(p *sim.Proc, ch, lbn, off, size int) ([]byte, error) {
 	if err := d.checkChannel(ch); err != nil {
 		return nil, err
 	}
+	end := d.beginOp(p, "sdf/read")
+	defer end()
 	d.stack.Submit(p)
+	op := p.Span()
+	t := d.env.Tracer()
 	var data []byte
 	var chErr error
 	flash := d.env.Go("sdf/read", func(wp *sim.Proc) {
+		wp.SetSpan(op)
 		data, chErr = d.channels[ch].ReadAt(wp, lbn, off, size)
 	})
 	// DMA streams pages to host memory as the channel produces them;
 	// modelled as a concurrent transfer of the full payload.
+	dma := t.Begin(d.env.Now(), op, "pcie/to-host", trace.PhaseBus)
 	d.pcie.ToHost(p, size)
+	t.End(d.env.Now(), dma)
 	p.Join(flash)
 	if chErr != nil {
 		return nil, chErr
@@ -167,16 +223,27 @@ func (d *Device) write(p *sim.Proc, ch, lbn int, data []byte, erase bool) error 
 	if err := d.checkChannel(ch); err != nil {
 		return err
 	}
+	name := "sdf/write"
+	if erase {
+		name = "sdf/erase-write"
+	}
+	end := d.beginOp(p, name)
+	defer end()
 	d.stack.Submit(p)
+	op := p.Span()
+	t := d.env.Tracer()
 	var chErr error
 	flash := d.env.Go("sdf/write", func(wp *sim.Proc) {
+		wp.SetSpan(op)
 		if erase {
 			chErr = d.channels[ch].EraseWrite(wp, lbn, data)
 		} else {
 			chErr = d.channels[ch].Write(wp, lbn, data)
 		}
 	})
+	dma := t.Begin(d.env.Now(), op, "pcie/to-device", trace.PhaseBus)
 	d.pcie.ToDevice(p, d.BlockSize())
+	t.End(d.env.Now(), dma)
 	p.Join(flash)
 	if chErr != nil {
 		return chErr
@@ -193,13 +260,18 @@ func (d *Device) ScanFilter(p *sim.Proc, ch, lbn int, selectivity float64) (int,
 	if err := d.checkChannel(ch); err != nil {
 		return 0, err
 	}
+	end := d.beginOp(p, "sdf/scan-filter")
+	defer end()
 	d.stack.Submit(p)
 	matched, err := d.channels[ch].ScanFilter(p, lbn, selectivity)
 	if err != nil {
 		return 0, err
 	}
 	if matched > 0 {
+		t := d.env.Tracer()
+		dma := t.Begin(d.env.Now(), p.Span(), "pcie/to-host", trace.PhaseBus)
 		d.pcie.ToHost(p, matched)
+		t.End(d.env.Now(), dma)
 	}
 	d.stack.Complete(p)
 	return matched, nil
@@ -212,6 +284,8 @@ func (d *Device) Erase(p *sim.Proc, ch, lbn int) error {
 	if err := d.checkChannel(ch); err != nil {
 		return err
 	}
+	end := d.beginOp(p, "sdf/erase")
+	defer end()
 	d.stack.Submit(p)
 	if err := d.channels[ch].Erase(p, lbn); err != nil {
 		return err

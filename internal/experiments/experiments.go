@@ -15,6 +15,7 @@ import (
 	"sdf/internal/core"
 	"sdf/internal/sim"
 	"sdf/internal/ssd"
+	"sdf/internal/trace"
 )
 
 // Options scales experiment durations.
@@ -22,6 +23,12 @@ type Options struct {
 	// Quick shortens measurement windows (tests, smoke runs) at some
 	// cost in statistical stability.
 	Quick bool
+	// Tracer, when non-nil, collects virtual-time trace events from
+	// experiments that support tracing (currently Figure 8, the
+	// latency-decomposition experiment). The same collector accumulates
+	// across the experiment's sequential simulations; exporters re-sort
+	// into canonical order.
+	Tracer *trace.Collector
 }
 
 // scale returns d, halved in quick mode.
@@ -39,6 +46,18 @@ type Table struct {
 	Header []string
 	Rows   [][]string
 	Notes  []string
+	// Metrics carries the raw measured values behind the formatted
+	// rows (bytes/s, milliseconds, ratios), keyed by a stable
+	// dot-separated name, for machine-readable bench output.
+	Metrics map[string]float64
+}
+
+// metric records one raw measured value.
+func (t *Table) metric(key string, v float64) {
+	if t.Metrics == nil {
+		t.Metrics = make(map[string]float64)
+	}
+	t.Metrics[key] = v
 }
 
 // String renders the table with aligned columns.

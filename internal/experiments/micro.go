@@ -112,11 +112,14 @@ func Table4(opts Options) Table {
 		Header: []string{"Device", "8K read", "16K read", "64K read", "8M read", "8M write"},
 	}
 	sizes := []int{8 << 10, 16 << 10, 64 << 10, 8 << 20, 0}
+	labels := []string{"read_8k", "read_16k", "read_64k", "read_8m", "write_8m"}
 
 	var sdfRow []string
 	sdfRow = append(sdfRow, "Baidu SDF")
-	for _, sz := range sizes {
-		sdfRow = append(sdfRow, gb(sdfThroughput(opts, sz)))
+	for i, sz := range sizes {
+		r := sdfThroughput(opts, sz)
+		t.metric("sdf."+labels[i]+".bps", r)
+		sdfRow = append(sdfRow, gb(r))
 	}
 	t.Rows = append(t.Rows, sdfRow)
 	t.Rows = append(t.Rows, []string{"  (paper)", "1.23 GB/s", "1.42 GB/s", "1.51 GB/s", "1.59 GB/s", "0.96 GB/s"})
@@ -124,16 +127,20 @@ func Table4(opts Options) Table {
 	gen3 := ssd.HuaweiGen3(0.25).ScaleBlocks(16)
 	gen3.BufferBytes = 64 << 20
 	row := []string{"Huawei Gen3"}
-	for _, sz := range sizes {
-		row = append(row, gb(ssdThroughput(opts, gen3, sz, 32)))
+	for i, sz := range sizes {
+		r := ssdThroughput(opts, gen3, sz, 32)
+		t.metric("gen3."+labels[i]+".bps", r)
+		row = append(row, gb(r))
 	}
 	t.Rows = append(t.Rows, row)
 	t.Rows = append(t.Rows, []string{"  (paper)", "0.92 GB/s", "1.02 GB/s", "1.15 GB/s", "1.20 GB/s", "0.67 GB/s"})
 
 	intel := ssd.Intel320(0.125).ScaleBlocks(24)
 	row = []string{"Intel 320"}
-	for _, sz := range sizes {
-		row = append(row, gb(ssdThroughput(opts, intel, sz, 16)))
+	for i, sz := range sizes {
+		r := ssdThroughput(opts, intel, sz, 16)
+		t.metric("intel320."+labels[i]+".bps", r)
+		row = append(row, gb(r))
 	}
 	t.Rows = append(t.Rows, row)
 	t.Rows = append(t.Rows, []string{"  (paper)", "0.17 GB/s", "0.20 GB/s", "0.22 GB/s", "0.22 GB/s", "0.13 GB/s"})
@@ -153,6 +160,8 @@ func Figure7(opts Options) Table {
 	for _, n := range []int{4, 8, 12, 16, 20, 24, 28, 32, 36, 40, 44} {
 		read := figure7Point(opts, n, false)
 		write := figure7Point(opts, n, true)
+		t.metric(fmt.Sprintf("read.%dch.bps", n), read)
+		t.metric(fmt.Sprintf("write.%dch.bps", n), write)
 		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", n), gb(read), gb(write)})
 	}
 	return t
@@ -212,10 +221,12 @@ func Figure8(opts Options) Table {
 		n = 60
 	}
 
-	gen3 := func(reqBytes int64, count int) metrics.Series {
+	gen3 := func(devLabel string, reqBytes int64, count int) metrics.Series {
 		prof := ssd.HuaweiGen3(0.10).ScaleBlocks(16)
 		prof.BufferBytes = 64 << 20
 		env := sim.NewEnv()
+		opts.Tracer.SetDev(devLabel)
+		env.SetTracer(opts.Tracer)
 		dev := newSSD(env, prof)
 		if err := dev.WarmFillRandom(1.0, 6); err != nil {
 			panic(err)
@@ -240,7 +251,12 @@ func Figure8(opts Options) Table {
 
 	sdfSeries := func(count int) metrics.Series {
 		env := sim.NewEnv()
+		opts.Tracer.SetDev("sdf")
+		env.SetTracer(opts.Tracer)
 		dev := newSDF(env, 16)
+		// Sample per-channel queue depth and utilization through the
+		// measured run (it self-terminates, so the event loop drains).
+		dev.StartSampler(20*time.Millisecond, 2*time.Second)
 		var series metrics.Series
 		perCh := (count + dev.Channels() - 1) / dev.Channels()
 		var writers []*sim.Proc
@@ -267,7 +283,13 @@ func Figure8(opts Options) Table {
 		return series
 	}
 
-	addRow := func(name string, s metrics.Series) {
+	addRow := func(name, key string, s metrics.Series) {
+		t.metric(key+".n", float64(s.Len()))
+		t.metric(key+".min_ms", float64(s.Min())/1e6)
+		t.metric(key+".mean_ms", float64(s.Mean())/1e6)
+		t.metric(key+".max_ms", float64(s.Max())/1e6)
+		t.metric(key+".p99_ms", float64(s.Percentile(99))/1e6)
+		t.metric(key+".cv", s.CoeffVar())
 		t.Rows = append(t.Rows, []string{
 			name,
 			fmt.Sprintf("%d", s.Len()),
@@ -277,8 +299,8 @@ func Figure8(opts Options) Table {
 			fmt.Sprintf("%.2f", s.CoeffVar()),
 		})
 	}
-	addRow("Huawei Gen3, 8 MB writes", gen3(8<<20, n))
-	addRow("Huawei Gen3, 352 MB writes", gen3(352<<20, n/4))
-	addRow("Baidu SDF, 8 MB erase+write", sdfSeries(n))
+	addRow("Huawei Gen3, 8 MB writes", "gen3_8m", gen3("gen3-8M", 8<<20, n))
+	addRow("Huawei Gen3, 352 MB writes", "gen3_352m", gen3("gen3-352M", 352<<20, n/4))
+	addRow("Baidu SDF, 8 MB erase+write", "sdf_8m", sdfSeries(n))
 	return t
 }

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"sdf/internal/core"
+	"sdf/internal/sim"
+	"sdf/internal/trace"
+)
+
+// smallTracedRun executes a short mixed SDF workload under a
+// full-level collector and returns the collector.
+func smallTracedRun(t *testing.T) *trace.Collector {
+	t.Helper()
+	env := sim.NewEnv()
+	collector := trace.NewCollector()
+	collector.SetLevel(trace.LevelFull)
+	collector.SetDev("sdf")
+	env.SetTracer(collector)
+	cfg := core.DefaultConfig()
+	cfg.Channels = 4
+	cfg.Channel.Nand.BlocksPerPlane = 8
+	cfg.Channel.SparePerPlane = 2
+	dev, err := core.New(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.StartSampler(10*time.Millisecond, time.Second)
+	for ch := 0; ch < dev.Channels(); ch++ {
+		ch := ch
+		env.Go("worker", func(p *sim.Proc) {
+			for i := 0; i < 2; i++ {
+				if err := dev.EraseWrite(p, ch, i, nil); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := dev.Read(p, ch, i, 0, dev.PageSize()*4); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		})
+	}
+	env.Run()
+	env.Close()
+	return collector
+}
+
+// TestTracedRunByteIdentical is the tracing determinism contract: the
+// same seeded workload exported twice must produce byte-identical
+// JSONL and Chrome trace files (the property CI re-checks by diffing
+// two full sdfbench runs).
+func TestTracedRunByteIdentical(t *testing.T) {
+	c1 := smallTracedRun(t)
+	c2 := smallTracedRun(t)
+	if c1.Len() == 0 {
+		t.Fatal("traced run recorded no events")
+	}
+	if c1.Hash() != c2.Hash() {
+		t.Fatalf("trace hashes differ across reruns: %s vs %s", c1.Hash(), c2.Hash())
+	}
+	var j1, j2, x1, x2 bytes.Buffer
+	if err := c1.WriteJSONL(&j1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.WriteJSONL(&j2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1.Bytes(), j2.Bytes()) {
+		t.Fatal("JSONL exports differ across reruns")
+	}
+	if err := c1.WriteChrome(&x1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.WriteChrome(&x2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(x1.Bytes(), x2.Bytes()) {
+		t.Fatal("Chrome exports differ across reruns")
+	}
+}
+
+// TestTracedRunEventMix checks the full-level collector sees every
+// layer: op spans, queue/bus/flash phases, kernel events, and the
+// per-channel sampler counters.
+func TestTracedRunEventMix(t *testing.T) {
+	c := smallTracedRun(t)
+	kinds := make(map[trace.Kind]int)
+	phases := make(map[string]int)
+	counters := 0
+	for _, ev := range c.Events() {
+		kinds[ev.Kind]++
+		if ev.Kind == trace.KindSpanBegin {
+			phases[ev.Phase]++
+		}
+		if ev.Kind == trace.KindCounter && strings.Contains(ev.Name, "/qdepth") {
+			counters++
+		}
+	}
+	for _, k := range []trace.Kind{
+		trace.KindSpanBegin, trace.KindSpanEnd, trace.KindProcSpawn,
+		trace.KindProcPark, trace.KindProcResume,
+		trace.KindAcquire, trace.KindRelease,
+		trace.KindXferBegin, trace.KindXferEnd, trace.KindCounter,
+	} {
+		if kinds[k] == 0 {
+			t.Errorf("no %s events recorded", k)
+		}
+	}
+	for _, ph := range []string{trace.PhaseOp, trace.PhaseSoftware, trace.PhaseQueue, trace.PhaseBus, trace.PhaseFlash} {
+		if phases[ph] == 0 {
+			t.Errorf("no spans in phase %q", ph)
+		}
+	}
+	if counters == 0 {
+		t.Error("sampler recorded no queue-depth counters")
+	}
+}
+
+// TestFigure8PhaseAttribution is the paper's claim, made quantitative
+// through the tracer: SDF write latency is dominated by the flash
+// array (program + erase), while the Gen3's worst-case latency is
+// dominated by queueing (full DRAM buffer, GC stalls).
+func TestFigure8PhaseAttribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure 8 trace run is slow")
+	}
+	collector := trace.NewCollector()
+	tab := Figure8(Options{Quick: true, Tracer: collector})
+	if len(tab.Rows) != 3 {
+		t.Fatalf("figure 8 rows = %d", len(tab.Rows))
+	}
+	for _, key := range []string{"gen3_8m.mean_ms", "gen3_352m.mean_ms", "sdf_8m.mean_ms", "sdf_8m.cv"} {
+		if _, ok := tab.Metrics[key]; !ok {
+			t.Errorf("missing metric %q", key)
+		}
+	}
+	stats := trace.Summarize(collector.Events())
+	totals := make(map[string]map[string]time.Duration) // dev -> phase -> total
+	for _, s := range stats {
+		if totals[s.Dev] == nil {
+			totals[s.Dev] = make(map[string]time.Duration)
+		}
+		totals[s.Dev][s.Phase] += s.Total
+	}
+	sdf := totals["sdf"]
+	if sdf == nil {
+		t.Fatal("no spans attributed to dev sdf")
+	}
+	if sdf[trace.PhaseFlash] <= sdf[trace.PhaseQueue] {
+		t.Errorf("sdf flash %v should dominate queue %v", sdf[trace.PhaseFlash], sdf[trace.PhaseQueue])
+	}
+	if sdf[trace.PhaseFlash] <= sdf[trace.PhaseSoftware] {
+		t.Errorf("sdf flash %v should dominate software %v", sdf[trace.PhaseFlash], sdf[trace.PhaseSoftware])
+	}
+	gen3 := totals["gen3-352M"]
+	if gen3 == nil {
+		t.Fatal("no spans attributed to dev gen3-352M")
+	}
+	if gen3[trace.PhaseQueue] <= gen3[trace.PhaseSoftware] {
+		t.Errorf("gen3 queue %v should dominate software %v", gen3[trace.PhaseQueue], gen3[trace.PhaseSoftware])
+	}
+	var sawStall bool
+	for _, s := range stats {
+		if strings.HasPrefix(s.Dev, "gen3") && (s.Name == "buffer-full" || s.Name == "gc-stall") {
+			sawStall = true
+		}
+	}
+	if !sawStall {
+		t.Error("no buffer-full/gc-stall spans on the Gen3 — queue attribution is vacuous")
+	}
+}

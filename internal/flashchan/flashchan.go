@@ -23,6 +23,7 @@ import (
 	"sdf/internal/bch"
 	"sdf/internal/nand"
 	"sdf/internal/sim"
+	"sdf/internal/trace"
 )
 
 // Interface-contract errors.
@@ -139,10 +140,12 @@ type parityKey struct {
 }
 
 // busXfer is one page moving across the channel bus; done fires when
-// the wires are free again.
+// the wires are free again. parent attributes the transfer's trace
+// span to the operation that queued it.
 type busXfer struct {
-	bytes int
-	done  *sim.Signal
+	bytes  int
+	parent trace.SpanID
+	done   *sim.Signal
 }
 
 // New builds a channel and starts its bus pump process on env.
@@ -157,6 +160,7 @@ func New(env *sim.Env, cfg Config) (*Channel, error) {
 		busQ: sim.NewQueue[busXfer](env),
 		mu:   sim.NewPriorityResource(env, 1),
 	}
+	ch.SetLabel("chan")
 	for i := 0; i < cfg.Chips; i++ {
 		np := cfg.Nand
 		np.Seed = cfg.Seed*1000 + int64(i)
@@ -193,20 +197,24 @@ func New(env *sim.Env, cfg Config) (*Channel, error) {
 	return ch, nil
 }
 
-// busPump serializes page transfers on the channel bus, FIFO.
+// busPump serializes page transfers on the channel bus, FIFO. The
+// span brackets wire occupancy only (command cycles + data), not the
+// time the transfer sat queued behind other pages.
 func (ch *Channel) busPump(p *sim.Proc) {
 	for {
 		x := ch.busQ.Get(p)
+		span := ch.env.Tracer().Begin(ch.env.Now(), x.parent, "chan/bus", trace.PhaseBus)
 		ch.bus.Transfer(p, x.bytes)
+		ch.env.Tracer().End(ch.env.Now(), span)
 		x.done.Fire()
 	}
 }
 
 // transferAsync enqueues a bus transfer and returns its completion
 // signal without blocking.
-func (ch *Channel) transferAsync(n int) *sim.Signal {
+func (ch *Channel) transferAsync(n int, parent trace.SpanID) *sim.Signal {
 	done := sim.NewSignal(ch.env)
-	ch.busQ.Put(busXfer{bytes: n, done: done})
+	ch.busQ.Put(busXfer{bytes: n, parent: parent, done: done})
 	return done
 }
 
@@ -244,6 +252,27 @@ func (ch *Channel) RawCapacity() int64 {
 // or queued. The block layer uses it to schedule erases into idle
 // periods (§2.3).
 func (ch *Channel) Idle() bool { return ch.mu.Idle() }
+
+// QueueDepth returns the number of commands waiting for the engine —
+// the quantity the utilization sampler records per channel.
+func (ch *Channel) QueueDepth() int { return ch.mu.Waiting() }
+
+// SetLabel names the channel's bus and engine in trace output
+// (e.g. "chan3"). Devices with many channels call it at build time so
+// kernel-level events distinguish channels.
+func (ch *Channel) SetLabel(label string) {
+	ch.bus.SetName(label + "/bus")
+	ch.mu.SetName(label + "/engine")
+}
+
+// acquire admits p to the channel engine, recording the wait as a
+// queue-phase span.
+func (ch *Channel) acquire(p *sim.Proc, prio int) {
+	t := ch.env.Tracer()
+	span := t.Begin(ch.env.Now(), p.Span(), "chan/queue", trace.PhaseQueue)
+	ch.mu.Acquire(p, prio)
+	t.End(ch.env.Now(), span)
+}
 
 // Counters returns cumulative traffic statistics.
 func (ch *Channel) Counters() (read, written, erased int64) {
@@ -285,7 +314,7 @@ func (ch *Channel) Erase(p *sim.Proc, lbn int) error {
 	if err := ch.checkLBN(lbn); err != nil {
 		return err
 	}
-	ch.mu.Acquire(p, ch.writePrio())
+	ch.acquire(p, ch.writePrio())
 	defer ch.mu.Release()
 	return ch.eraseLocked(p, lbn)
 }
@@ -306,10 +335,12 @@ func (ch *Channel) eraseLocked(p *sim.Proc, lbn int) error {
 		byChip[ch.planes[i].chip] = append(byChip[ch.planes[i].chip], i)
 	}
 	errs := make([]error, len(ch.planes))
+	parent := p.Span()
 	var workers []*sim.Proc
 	for c := 0; c < len(ch.chips); c++ {
 		planeIdxs := byChip[c]
 		w := ch.env.Go("flashchan/erase", func(wp *sim.Proc) {
+			wp.SetSpan(parent)
 			for _, pi := range planeIdxs {
 				errs[pi] = ch.erasePlane(wp, pi, lbn)
 			}
@@ -367,7 +398,7 @@ func (ch *Channel) Write(p *sim.Proc, lbn int, data []byte) error {
 	if data != nil && len(data) != ch.BlockSize() {
 		return fmt.Errorf("flashchan: write payload %d bytes, want %d", len(data), ch.BlockSize())
 	}
-	ch.mu.Acquire(p, ch.writePrio())
+	ch.acquire(p, ch.writePrio())
 	defer ch.mu.Release()
 	return ch.writeLocked(p, lbn, data)
 }
@@ -384,16 +415,24 @@ func (ch *Channel) writeLocked(p *sim.Proc, lbn int, data []byte) error {
 	pagesPerBlock := ch.cfg.Nand.PagesPerBlock
 	stripe := ch.stripeBytes()
 	errs := make([]error, len(ch.planes))
+	parent := p.Span()
 	var workers []*sim.Proc
 	for i := range ch.planes {
 		pi := i
 		w := ch.env.Go("flashchan/write", func(wp *sim.Proc) {
+			wp.SetSpan(parent)
 			ps := &ch.planes[pi]
 			phys := ps.mapping[lbn]
+			// One flash-phase span per plane covers the whole program
+			// loop: with cache programming the plane is array-busy
+			// nearly end to end, and per-page spans would multiply the
+			// event volume 256x for no extra insight.
+			t := ch.env.Tracer()
+			span := t.Begin(ch.env.Now(), parent, "nand/program", trace.PhaseFlash)
 			// Cache programming: while page pg programs from the data
 			// register, page pg+1 streams over the bus into the cache
 			// register, so sustained writes are program-limited.
-			pending := ch.transferAsync(pageSize)
+			pending := ch.transferAsync(pageSize, parent)
 			for pg := 0; pg < pagesPerBlock; pg++ {
 				var payload []byte
 				if data != nil {
@@ -402,7 +441,7 @@ func (ch *Channel) writeLocked(p *sim.Proc, lbn int, data []byte) error {
 				}
 				wp.Await(pending)
 				if pg+1 < pagesPerBlock {
-					pending = ch.transferAsync(pageSize)
+					pending = ch.transferAsync(pageSize, parent)
 				}
 				if err := ps.plane.Program(wp, phys, pg, payload); err != nil {
 					errs[pi] = err
@@ -412,6 +451,7 @@ func (ch *Channel) writeLocked(p *sim.Proc, lbn int, data []byte) error {
 					ch.storeParity(pi, phys, pg, payload)
 				}
 			}
+			t.End(ch.env.Now(), span)
 		})
 		workers = append(workers, w)
 	}
@@ -433,7 +473,7 @@ func (ch *Channel) EraseWrite(p *sim.Proc, lbn int, data []byte) error {
 	if err := ch.checkLBN(lbn); err != nil {
 		return err
 	}
-	ch.mu.Acquire(p, ch.writePrio())
+	ch.acquire(p, ch.writePrio())
 	defer ch.mu.Release()
 	if err := ch.eraseLocked(p, lbn); err != nil {
 		return err
@@ -457,13 +497,15 @@ func (ch *Channel) ReadAt(p *sim.Proc, lbn int, off, size int) ([]byte, error) {
 	if off+size > ch.BlockSize() {
 		return nil, fmt.Errorf("%w: off %d + size %d > block %d", ErrBadAddress, off, size, ch.BlockSize())
 	}
-	ch.mu.Acquire(p, ch.readPrio())
+	ch.acquire(p, ch.readPrio())
 	defer ch.mu.Release()
 
 	var out []byte
 	if ch.cfg.Nand.RetainData {
 		out = make([]byte, 0, size)
 	}
+	t := ch.env.Tracer()
+	parent := p.Span()
 	stripe := ch.stripeBytes()
 	var pending *sim.Signal
 	for done := 0; done < size; {
@@ -475,10 +517,12 @@ func (ch *Channel) ReadAt(p *sim.Proc, lbn int, off, size int) ([]byte, error) {
 		if !ok {
 			return nil, fmt.Errorf("%w: logical block %d never written", ErrBadAddress, lbn)
 		}
+		span := t.Begin(ch.env.Now(), parent, "nand/read", trace.PhaseFlash)
 		data, err := ps.plane.ReadPage(p, phys, pg)
 		if err != nil {
 			return nil, err
 		}
+		t.End(ch.env.Now(), span)
 		if ch.code != nil {
 			data, err = ch.correct(pi, phys, pg, data)
 			if err != nil {
@@ -492,7 +536,7 @@ func (ch *Channel) ReadAt(p *sim.Proc, lbn int, off, size int) ([]byte, error) {
 		if pending != nil {
 			p.Await(pending)
 		}
-		pending = ch.transferAsync(pageSize)
+		pending = ch.transferAsync(pageSize, parent)
 		done += pageSize
 	}
 	if pending != nil {

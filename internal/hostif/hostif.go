@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"sdf/internal/sim"
+	"sdf/internal/trace"
 )
 
 // Interface is the physical host link of a device. PCIe is full
@@ -38,10 +39,14 @@ type transferrer interface {
 // effective rates measured in the paper are 1.61 GB/s (read, i.e.
 // device to host) and 1.40 GB/s (write) (§3.2).
 func PCIe11x8(env *sim.Env) *Interface {
+	read := sim.NewSharedLink(env, 1.61e9)
+	read.SetName("pcie/to-host")
+	write := sim.NewSharedLink(env, 1.40e9)
+	write.SetName("pcie/to-device")
 	return &Interface{
 		name:  "PCIe 1.1 x8",
-		read:  sim.NewSharedLink(env, 1.61e9),
-		write: sim.NewSharedLink(env, 1.40e9),
+		read:  read,
+		write: write,
 	}
 }
 
@@ -49,6 +54,7 @@ func PCIe11x8(env *sim.Env) *Interface {
 // effective after framing, half duplex.
 func SATA2(env *sim.Env) *Interface {
 	l := sim.NewLink(env, 270e6, 2*time.Microsecond)
+	l.SetName("sata")
 	return &Interface{name: "SATA 2.0", read: l, write: l}
 }
 
@@ -116,6 +122,7 @@ func BypassStack() StackParams {
 
 // Stack models software-path CPU costs as a bounded resource.
 type Stack struct {
+	env    *sim.Env
 	params StackParams
 	cpu    *sim.Resource
 }
@@ -126,7 +133,9 @@ func NewStack(env *sim.Env, params StackParams) *Stack {
 	if cpus < 1 {
 		cpus = 1
 	}
-	return &Stack{params: params, cpu: sim.NewResource(env, cpus)}
+	cpu := sim.NewResource(env, cpus)
+	cpu.SetName("stack/cpu")
+	return &Stack{env: env, params: params, cpu: cpu}
 }
 
 // Params returns the stack's parameters.
@@ -134,7 +143,9 @@ func (s *Stack) Params() StackParams { return s.params }
 
 // Submit charges the request-issue cost.
 func (s *Stack) Submit(p *sim.Proc) {
+	span := s.env.Tracer().Begin(s.env.Now(), p.Span(), "stack/submit", trace.PhaseSoftware)
 	s.charge(p, s.params.SubmitCost)
+	s.env.Tracer().End(s.env.Now(), span)
 }
 
 // Complete charges the completion cost, reduced by interrupt merging.
@@ -143,7 +154,9 @@ func (s *Stack) Complete(p *sim.Proc) {
 	if s.params.InterruptMerge > 1 {
 		c /= time.Duration(s.params.InterruptMerge)
 	}
+	span := s.env.Tracer().Begin(s.env.Now(), p.Span(), "stack/complete", trace.PhaseSoftware)
 	s.charge(p, c)
+	s.env.Tracer().End(s.env.Now(), span)
 }
 
 // PerRequestCost returns the total software time per request after

@@ -85,8 +85,13 @@ func (h *Histogram) Min() time.Duration {
 // Max returns the largest observation.
 func (h *Histogram) Max() time.Duration { return h.max }
 
-// Quantile returns an approximation of the q-quantile (0 <= q <= 1)
-// using the geometric midpoint of the containing bucket.
+// Quantile returns an approximation of the q-quantile (0 <= q <= 1),
+// interpolating linearly within the containing log bucket by the
+// rank's position among that bucket's observations. Compared to the
+// bucket's geometric midpoint this keeps dense quantiles (p50 of a
+// tight distribution) from all collapsing onto one midpoint value.
+// The result is clamped to [Min, Max], which also keeps it monotone
+// in q at the edges.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	if h.count == 0 {
 		return 0
@@ -105,8 +110,12 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 		}
 		seen += c
 		if seen > rank {
-			mid := math.Pow(bucketBase, float64(b)+0.5)
-			d := time.Duration(mid)
+			lo := math.Pow(bucketBase, float64(b))
+			hi := math.Pow(bucketBase, float64(b)+1)
+			// Position of the rank within this bucket's c observations,
+			// offset half a sample so a lone observation lands mid-bucket.
+			frac := (float64(rank-(seen-c)) + 0.5) / float64(c)
+			d := time.Duration(lo + frac*(hi-lo))
 			if d < h.min {
 				d = h.min
 			}

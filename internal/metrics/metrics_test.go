@@ -86,6 +86,70 @@ func TestHistogramSingleValue(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	// 1000 identical observations plus one straggler: interpolated
+	// quantiles must track the dense mass, and q=0/q=1 must pin to the
+	// exact extremes (the clamp, not the bucket boundary).
+	h := NewHistogram()
+	for i := 0; i < 1000; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	h.Observe(10 * time.Millisecond)
+	if got := h.Quantile(0); got != 100*time.Microsecond {
+		t.Fatalf("Quantile(0) = %v, want exact min 100µs", got)
+	}
+	if got := h.Quantile(1); got != 10*time.Millisecond {
+		t.Fatalf("Quantile(1) = %v, want exact max 10ms", got)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 95*time.Microsecond || p50 > 110*time.Microsecond {
+		t.Fatalf("p50 = %v, want ~100µs (within one log bucket)", p50)
+	}
+	// Interpolation must move within one bucket: a rank early in the
+	// bucket's mass must not exceed a rank late in it.
+	if h.Quantile(0.1) > h.Quantile(0.9) {
+		t.Fatalf("within-bucket interpolation not monotone: q10=%v q90=%v",
+			h.Quantile(0.1), h.Quantile(0.9))
+	}
+}
+
+func TestHistogramSubNanosecond(t *testing.T) {
+	// Durations below 1 ns (including 0 and negative artifacts) land in
+	// bucket 0 and must not panic or break min/max accounting.
+	h := NewHistogram()
+	h.Observe(0)
+	h.Observe(1) // 1 ns
+	if h.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", h.Count())
+	}
+	if h.Min() != 0 || h.Max() != 1 {
+		t.Fatalf("Min/Max = %v/%v, want 0/1ns", h.Min(), h.Max())
+	}
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); got < 0 || got > 1 {
+			t.Fatalf("Quantile(%v) = %v, want within [0,1ns]", q, got)
+		}
+	}
+	if b := bucketOf(-time.Nanosecond); b != 0 {
+		t.Fatalf("bucketOf(-1ns) = %d, want 0", b)
+	}
+	if b := bucketOf(0); b != 0 {
+		t.Fatalf("bucketOf(0) = %d, want 0", b)
+	}
+}
+
+func TestHistogramQuantileOutOfRangeQ(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(time.Millisecond)
+	h.Observe(2 * time.Millisecond)
+	if got := h.Quantile(-0.5); got != h.Quantile(0) {
+		t.Fatalf("Quantile(-0.5) = %v, want clamped to q0 %v", got, h.Quantile(0))
+	}
+	if got := h.Quantile(1.5); got != h.Quantile(1) {
+		t.Fatalf("Quantile(1.5) = %v, want clamped to q1 %v", got, h.Quantile(1))
+	}
+}
+
 func TestMeterRate(t *testing.T) {
 	m := NewMeter(0)
 	m.Add(100 << 20) // 100 MB
@@ -163,5 +227,57 @@ func TestSeriesEmpty(t *testing.T) {
 	var s Series
 	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.StdDev() != 0 || s.Percentile(50) != 0 {
 		t.Fatal("empty series should report zeros")
+	}
+}
+
+func TestMeterRateAtWindowStart(t *testing.T) {
+	// now == start (and now < start) must not divide by zero.
+	m := NewMeter(3 * time.Second)
+	m.Add(1 << 30)
+	if got := m.Rate(3 * time.Second); got != 0 {
+		t.Fatalf("Rate at window start = %v, want 0", got)
+	}
+	if got := m.MBps(3 * time.Second); got != 0 {
+		t.Fatalf("MBps at window start = %v, want 0", got)
+	}
+	if got := m.Rate(2 * time.Second); got != 0 {
+		t.Fatalf("Rate before window start = %v, want 0", got)
+	}
+}
+
+func TestSeriesPercentileBounds(t *testing.T) {
+	var s Series
+	for _, v := range []time.Duration{10, 20, 30} {
+		s.Observe(v * time.Millisecond)
+	}
+	if got := s.Percentile(0); got != 10*time.Millisecond {
+		t.Fatalf("p0 = %v, want 10ms", got)
+	}
+	if got := s.Percentile(100); got != 30*time.Millisecond {
+		t.Fatalf("p100 = %v, want 30ms", got)
+	}
+	// Out-of-range percentiles clamp to the extremes instead of
+	// indexing out of bounds.
+	if got := s.Percentile(-10); got != 10*time.Millisecond {
+		t.Fatalf("p-10 = %v, want 10ms", got)
+	}
+	if got := s.Percentile(250); got != 30*time.Millisecond {
+		t.Fatalf("p250 = %v, want 30ms", got)
+	}
+}
+
+func TestSeriesSingleSample(t *testing.T) {
+	var s Series
+	s.Observe(383 * time.Millisecond)
+	if s.Mean() != 383*time.Millisecond || s.Min() != 383*time.Millisecond || s.Max() != 383*time.Millisecond {
+		t.Fatal("single-sample series stats should all equal the sample")
+	}
+	if s.StdDev() != 0 {
+		t.Fatalf("StdDev = %v, want 0", s.StdDev())
+	}
+	for _, p := range []float64{0, 50, 99, 100} {
+		if got := s.Percentile(p); got != 383*time.Millisecond {
+			t.Fatalf("Percentile(%v) = %v, want 383ms", p, got)
+		}
 	}
 }

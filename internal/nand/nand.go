@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"sdf/internal/sim"
+	"sdf/internal/trace"
 )
 
 // Operation errors.
@@ -114,6 +115,7 @@ type Plane struct {
 
 // Chip is a NAND flash chip with Params.Planes independent planes.
 type Chip struct {
+	env    *sim.Env
 	params Params
 	planes []*Plane
 	rng    *rand.Rand
@@ -128,6 +130,7 @@ type Chip struct {
 // accounting uniform; FTLs erase blocks before first use anyway.
 func New(env *sim.Env, params Params) *Chip {
 	c := &Chip{
+		env:    env,
 		params: params,
 		rng:    rand.New(rand.NewSource(params.Seed)),
 	}
@@ -299,9 +302,12 @@ func (pl *Plane) Erase(p *sim.Proc, blockIdx int) error {
 	if b.bad {
 		return fmt.Errorf("%w: plane %d block %d", ErrBadBlock, pl.index, blockIdx)
 	}
+	env := pl.chip.env
+	span := env.Tracer().Begin(env.Now(), p.Span(), "nand/erase", trace.PhaseFlash)
 	pl.res.Acquire(p)
 	p.Wait(pl.chip.params.TErase)
 	pl.res.Release()
+	env.Tracer().End(env.Now(), span)
 	pl.chip.erases++
 	b.eraseCount++
 	if pl.data != nil {

@@ -1,6 +1,10 @@
 package sim
 
-import "time"
+import (
+	"time"
+
+	"sdf/internal/trace"
+)
 
 // ByteTime returns the virtual time needed to move n bytes at rate
 // bytesPerSec.
@@ -16,6 +20,8 @@ func ByteTime(n int, bytesPerSec float64) time.Duration {
 // It models command/data buses where one transaction owns the wires at
 // a time (a NAND channel bus, a SATA link).
 type Link struct {
+	env      *Env
+	name     string
 	res      *Resource
 	rate     float64 // bytes per second
 	overhead time.Duration
@@ -26,16 +32,26 @@ type Link struct {
 // per second and a fixed per-transfer overhead (command/address cycles,
 // protocol framing).
 func NewLink(env *Env, bytesPerSec float64, overhead time.Duration) *Link {
-	return &Link{res: NewResource(env, 1), rate: bytesPerSec, overhead: overhead}
+	return &Link{env: env, res: NewResource(env, 1), rate: bytesPerSec, overhead: overhead}
 }
+
+// SetName labels the link in trace output.
+func (l *Link) SetName(name string) { l.name = name }
 
 // Transfer moves n bytes across the link, blocking for queueing plus
 // transmission time.
 func (l *Link) Transfer(p *Proc, n int) {
+	full := l.env.tracer.Full()
+	if full {
+		l.env.tracer.Emit(l.env.Now(), trace.KindXferBegin, 0, 0, l.name, "", int64(n))
+	}
 	l.res.Acquire(p)
 	p.Wait(l.overhead + ByteTime(n, l.rate))
 	l.res.Release()
 	l.moved += int64(n)
+	if full {
+		l.env.tracer.Emit(l.env.Now(), trace.KindXferEnd, 0, 0, l.name, "", int64(n))
+	}
 }
 
 // Rate returns the link data rate in bytes per second.
@@ -53,6 +69,7 @@ func (l *Link) Busy() bool { return !l.res.Idle() }
 // fine granularity (PCIe, 10 GbE).
 type SharedLink struct {
 	env    *Env
+	name   string
 	rate   float64 // bytes per second
 	active []*xfer
 	last   int64  // virtual time of last progress update
@@ -83,11 +100,18 @@ func (l *SharedLink) Moved() int64 { return l.moved }
 // InFlight returns the number of concurrent transfers.
 func (l *SharedLink) InFlight() int { return len(l.active) }
 
+// SetName labels the link in trace output.
+func (l *SharedLink) SetName(name string) { l.name = name }
+
 // Transfer moves n bytes across the link, blocking until completion.
 // With k concurrent transfers each progresses at rate/k.
 func (l *SharedLink) Transfer(p *Proc, n int) {
 	if n <= 0 {
 		return
+	}
+	full := l.env.tracer.Full()
+	if full {
+		l.env.tracer.Emit(l.env.Now(), trace.KindXferBegin, 0, 0, l.name, "", int64(n))
 	}
 	l.advance()
 	x := &xfer{remaining: float64(n), done: NewSignal(l.env)}
@@ -95,6 +119,9 @@ func (l *SharedLink) Transfer(p *Proc, n int) {
 	l.reschedule()
 	p.Await(x.done)
 	l.moved += int64(n)
+	if full {
+		l.env.tracer.Emit(l.env.Now(), trace.KindXferEnd, 0, 0, l.name, "", int64(n))
+	}
 }
 
 // advance applies progress for the time elapsed since the last update.

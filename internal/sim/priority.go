@@ -1,5 +1,7 @@
 package sim
 
+import "sdf/internal/trace"
+
 // PriorityResource is a counting semaphore whose waiters are admitted
 // lowest-priority-value first (FIFO within a priority class). It is
 // non-preemptive: holders run to completion. The SDF block layer uses
@@ -8,6 +10,7 @@ package sim
 // §5).
 type PriorityResource struct {
 	env     *Env
+	name    string
 	cap     int
 	inUse   int
 	seq     uint64
@@ -28,9 +31,15 @@ func NewPriorityResource(env *Env, capacity int) *PriorityResource {
 	return &PriorityResource{env: env, cap: capacity}
 }
 
+// SetName labels the resource in trace output.
+func (r *PriorityResource) SetName(name string) { r.name = name }
+
 // Acquire obtains one unit at the given priority (lower value is
 // served first), blocking while the resource is saturated.
 func (r *PriorityResource) Acquire(p *Proc, prio int) {
+	if r.env.tracer.Full() {
+		r.env.tracer.Emit(r.env.Now(), trace.KindAcquire, 0, 0, r.name, "", int64(len(r.waiters)))
+	}
 	if r.inUse < r.cap {
 		r.inUse++
 		return
@@ -54,6 +63,9 @@ func (r *PriorityResource) Acquire(p *Proc, prio int) {
 
 // Release returns one unit, handing it to the best-priority waiter.
 func (r *PriorityResource) Release() {
+	if r.env.tracer.Full() {
+		r.env.tracer.Emit(r.env.Now(), trace.KindRelease, 0, 0, r.name, "", int64(len(r.waiters)))
+	}
 	if len(r.waiters) > 0 {
 		w := r.waiters[0]
 		copy(r.waiters, r.waiters[1:])

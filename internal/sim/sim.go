@@ -17,6 +17,8 @@ package sim
 import (
 	"fmt"
 	"time"
+
+	"sdf/internal/trace"
 )
 
 // event is a scheduled callback in virtual time. Events with equal time
@@ -87,6 +89,7 @@ type Env struct {
 	procs  []*Proc
 	closed bool
 	fail   *procPanic
+	tracer *trace.Collector
 }
 
 type procPanic struct {
@@ -105,6 +108,16 @@ func NewEnv() *Env {
 
 // Now returns the current virtual time as an offset from simulation start.
 func (e *Env) Now() time.Duration { return time.Duration(e.now) }
+
+// SetTracer attaches an event collector. A nil tracer (the default)
+// keeps every instrumentation site on a single-branch fast path, so
+// tracing is strictly pay-for-what-you-use.
+func (e *Env) SetTracer(t *trace.Collector) { e.tracer = t }
+
+// Tracer returns the attached collector, or nil. All trace.Collector
+// methods are nil-safe, so callers may emit through the returned
+// value unconditionally.
+func (e *Env) Tracer() *trace.Collector { return e.tracer }
 
 // Schedule runs fn after the given virtual delay. fn executes in
 // scheduler context and must not block; use Go for blocking work.
@@ -125,6 +138,7 @@ type Proc struct {
 	started bool
 	done    bool
 	doneSig *Signal
+	span    trace.SpanID
 }
 
 // Name returns the process name given at spawn time.
@@ -132,6 +146,15 @@ func (p *Proc) Name() string { return p.name }
 
 // Env returns the environment this process runs in.
 func (p *Proc) Env() *Env { return p.env }
+
+// SetSpan records the trace span the process is currently working
+// under, so deeper layers can parent their spans to it. Spawned
+// worker processes do not inherit the spawner's span; instrumented
+// code propagates it explicitly.
+func (p *Proc) SetSpan(s trace.SpanID) { p.span = s }
+
+// Span returns the process's current trace span (0 if none).
+func (p *Proc) Span() trace.SpanID { return p.span }
 
 // Go spawns a new process. The process starts at the current virtual
 // time (after already-scheduled events at that time). Go may be called
@@ -149,6 +172,9 @@ func (e *Env) start(p *Proc, fn func(*Proc)) {
 	if e.closed {
 		p.done = true
 		return
+	}
+	if e.tracer.Full() {
+		e.tracer.Emit(e.Now(), trace.KindProcSpawn, 0, 0, p.name, "", 0)
 	}
 	p.started = true
 	go func() {
@@ -172,10 +198,16 @@ func (e *Env) start(p *Proc, fn func(*Proc)) {
 // env.wake. It is the single low-level blocking primitive; all public
 // blocking operations are built on it.
 func (p *Proc) park() {
+	if p.env.tracer.Full() {
+		p.env.tracer.Emit(p.env.Now(), trace.KindProcPark, 0, 0, p.name, "", 0)
+	}
 	p.env.yield <- struct{}{}
 	<-p.resume
 	if p.env.closed {
 		panic(stopSentinel{})
+	}
+	if p.env.tracer.Full() {
+		p.env.tracer.Emit(p.env.Now(), trace.KindProcResume, 0, 0, p.name, "", 0)
 	}
 }
 
@@ -333,6 +365,7 @@ func (p *Proc) Await(s *Signal) {
 // (a flash plane, a controller pipeline slot, a NIC DMA engine).
 type Resource struct {
 	env     *Env
+	name    string
 	cap     int
 	inUse   int
 	waiters []*Proc
@@ -346,8 +379,14 @@ func NewResource(env *Env, capacity int) *Resource {
 	return &Resource{env: env, cap: capacity}
 }
 
+// SetName labels the resource in trace output.
+func (r *Resource) SetName(name string) { r.name = name }
+
 // Acquire obtains one unit of the resource, blocking FIFO if none free.
 func (r *Resource) Acquire(p *Proc) {
+	if r.env.tracer.Full() {
+		r.env.tracer.Emit(r.env.Now(), trace.KindAcquire, 0, 0, r.name, "", int64(len(r.waiters)))
+	}
 	if r.inUse < r.cap {
 		r.inUse++
 		return
@@ -368,6 +407,9 @@ func (r *Resource) TryAcquire() bool {
 // Release returns one unit. If a process is waiting, the unit transfers
 // directly to the head of the queue.
 func (r *Resource) Release() {
+	if r.env.tracer.Full() {
+		r.env.tracer.Emit(r.env.Now(), trace.KindRelease, 0, 0, r.name, "", int64(len(r.waiters)))
+	}
 	if len(r.waiters) > 0 {
 		w := r.waiters[0]
 		copy(r.waiters, r.waiters[1:])

@@ -1,6 +1,9 @@
 package ssd
 
-import "sdf/internal/sim"
+import (
+	"sdf/internal/sim"
+	"sdf/internal/trace"
+)
 
 // writeBuffer models the battery-backed DRAM write cache of a
 // conventional SSD (1 GB on the Huawei Gen3). Host writes complete as
@@ -55,8 +58,15 @@ func (b *writeBuffer) insert(p *sim.Proc, lpn int64) {
 	if b.refs[lpn] {
 		return // absorbed in place
 	}
-	for b.used >= b.capPages {
-		p.Await(b.space)
+	if b.used >= b.capPages {
+		// Host write throttled by a full DRAM buffer, waiting on the
+		// flusher (and transitively on GC) to free space.
+		env := b.s.env
+		span := env.Tracer().Begin(env.Now(), p.Span(), "buffer-full", trace.PhaseQueue)
+		for b.used >= b.capPages {
+			p.Await(b.space)
+		}
+		env.Tracer().End(env.Now(), span)
 	}
 	b.refs[lpn] = true
 	b.used++

@@ -8,6 +8,7 @@ import (
 	"sdf/internal/hostif"
 	"sdf/internal/nand"
 	"sdf/internal/sim"
+	"sdf/internal/trace"
 )
 
 // ErrDeviceFull is returned when a write would exceed logical capacity.
@@ -196,6 +197,22 @@ func New(env *sim.Env, prof Profile) (*SSD, error) {
 // Profile returns the device profile.
 func (s *SSD) Profile() Profile { return s.prof }
 
+// beginOp opens the root span of one host request and reparents p
+// under it. The returned func closes the span.
+func (s *SSD) beginOp(p *sim.Proc, name string) func() {
+	t := s.env.Tracer()
+	if t == nil {
+		return func() {}
+	}
+	prev := p.Span()
+	op := t.Begin(s.env.Now(), prev, name, trace.PhaseOp)
+	p.SetSpan(op)
+	return func() {
+		p.SetSpan(prev)
+		t.End(s.env.Now(), op)
+	}
+}
+
 // PageSize returns the flash page size in bytes.
 func (s *SSD) PageSize() int { return s.prof.Nand.PageSize }
 
@@ -226,8 +243,11 @@ func (s *SSD) Read(p *sim.Proc, off, size int64) error {
 	if err := s.checkRange(off, size); err != nil {
 		return err
 	}
+	end := s.beginOp(p, "ssd/read")
+	defer end()
 	s.stack.Submit(p)
 	s.ctrl.Use(p, func() { p.Wait(s.prof.ReqProc) })
+	op := p.Span()
 	first := off / int64(s.PageSize())
 	last := (off + size - 1) / int64(s.PageSize())
 	groups := make(map[int][]int64)
@@ -243,6 +263,7 @@ func (s *SSD) Read(p *sim.Proc, off, size int64) error {
 		}
 		ch := s.channels[c]
 		w := s.env.Go("ssd/read", func(wp *sim.Proc) {
+			wp.SetSpan(op)
 			for _, lpn := range lpns {
 				s.readPage(wp, ch, lpn)
 			}
@@ -254,7 +275,10 @@ func (s *SSD) Read(p *sim.Proc, off, size int64) error {
 			wp.Join(w)
 		}
 	})
+	t := s.env.Tracer()
+	xfer := t.Begin(s.env.Now(), op, "host-xfer", trace.PhaseBus)
 	s.iface.ToHost(p, int(size))
+	t.End(s.env.Now(), xfer)
 	p.Join(done)
 	s.stack.Complete(p)
 	s.hostReadBytes += size
@@ -292,8 +316,13 @@ func (s *SSD) Write(p *sim.Proc, off, size int64) error {
 	if err := s.checkRange(off, size); err != nil {
 		return err
 	}
+	end := s.beginOp(p, "ssd/write")
+	defer end()
 	s.stack.Submit(p)
+	t := s.env.Tracer()
+	xfer := t.Begin(s.env.Now(), p.Span(), "host-xfer", trace.PhaseBus)
 	s.iface.ToDevice(p, int(size))
+	t.End(s.env.Now(), xfer)
 	pageSize := int64(s.PageSize())
 	first := off / pageSize
 	last := (off + size - 1) / pageSize
@@ -431,9 +460,16 @@ func (pf *planeFTL) allocHost(p *sim.Proc) (block, page int) {
 			}
 			pf.hostOpen = -1
 		}
-		for len(pf.free) <= prof.GCReserve {
-			pf.kickGC()
-			p.Await(pf.space)
+		if len(pf.free) <= prof.GCReserve {
+			// The stall behind garbage collection — the dominant term
+			// of the Gen3's worst-case write latency (Figure 8).
+			env := pf.ssd.env
+			span := env.Tracer().Begin(env.Now(), p.Span(), "gc-stall", trace.PhaseQueue)
+			for len(pf.free) <= prof.GCReserve {
+				pf.kickGC()
+				p.Await(pf.space)
+			}
+			env.Tracer().End(env.Now(), span)
 		}
 		b := pf.popFree()
 		if len(pf.free) <= prof.GCLowWater {

@@ -1,0 +1,233 @@
+package trace
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// The exporters are deterministic by construction: events are written
+// in (At, Seq) order, timestamps are virtual, string fields are
+// escaped by encoding/json, and no map is iterated without sorting.
+// Two runs of the same seeded simulation therefore produce
+// byte-identical files — the property the CI replay-diff step checks.
+
+// jsonEvent is the JSONL wire form of an Event, with a fixed field
+// order and the kind spelled out.
+type jsonEvent struct {
+	At     int64  `json:"at"`
+	Seq    uint64 `json:"seq"`
+	Kind   string `json:"kind"`
+	Span   uint64 `json:"span"`
+	Parent uint64 `json:"parent"`
+	Dev    string `json:"dev"`
+	Name   string `json:"name"`
+	Phase  string `json:"phase"`
+	Value  int64  `json:"value"`
+}
+
+// sortedEvents returns the events ordered by (At, Seq). Emission
+// order already satisfies this (virtual time is nondecreasing within
+// one environment), but a collector shared across sequential
+// environments restarts the clock, so the exporters re-sort to keep
+// the output canonical.
+func sortedEvents(events []Event) []Event {
+	out := make([]Event, len(events))
+	copy(out, events)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// WriteJSONL writes one event per line in canonical (At, Seq) order.
+func (c *Collector) WriteJSONL(w io.Writer) error {
+	return WriteJSONL(w, c.Events())
+}
+
+// WriteJSONL writes events as JSON lines in canonical (At, Seq) order.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range sortedEvents(events) {
+		je := jsonEvent{
+			At: int64(ev.At), Seq: ev.Seq, Kind: ev.Kind.String(),
+			Span: uint64(ev.Span), Parent: uint64(ev.Parent),
+			Dev: ev.Dev, Name: ev.Name, Phase: ev.Phase, Value: ev.Value,
+		}
+		if err := enc.Encode(je); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a stream written by WriteJSONL.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var events []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var je jsonEvent
+		if err := json.Unmarshal(sc.Bytes(), &je); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		kind, ok := KindFromString(je.Kind)
+		if !ok {
+			return nil, fmt.Errorf("trace: line %d: unknown kind %q", line, je.Kind)
+		}
+		events = append(events, Event{
+			At: time.Duration(je.At), Seq: je.Seq, Kind: kind,
+			Span: SpanID(je.Span), Parent: SpanID(je.Parent),
+			Dev: je.Dev, Name: je.Name, Phase: je.Phase, Value: je.Value,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return events, nil
+}
+
+// Hash returns the hex SHA-256 of the canonical JSONL encoding — the
+// replay-identity fingerprint of a run.
+func (c *Collector) Hash() string { return Hash(c.Events()) }
+
+// Hash fingerprints an event stream via its canonical JSONL encoding.
+func Hash(events []Event) string {
+	h := sha256.New()
+	// sha256.Write never fails.
+	_ = WriteJSONL(h, events)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// micros renders a virtual timestamp as Chrome trace microseconds
+// with fixed millinanosecond precision (no float formatting in the
+// output path).
+func micros(d time.Duration) string {
+	ns := int64(d)
+	return fmt.Sprintf("%d.%03d", ns/1000, ns%1000)
+}
+
+// WriteChrome writes the events in the Chrome trace-event JSON format
+// (loadable in Perfetto or chrome://tracing). Spans become complete
+// ("X") events on one track per root operation, counters become "C"
+// events, and kernel events become instants. Each device label maps
+// to its own process, named via metadata events.
+func (c *Collector) WriteChrome(w io.Writer) error {
+	return WriteChrome(w, c.Events())
+}
+
+// WriteChrome writes events in Chrome trace-event JSON format.
+func WriteChrome(w io.Writer, events []Event) error {
+	evs := sortedEvents(events)
+	bw := bufio.NewWriter(w)
+
+	// Device label -> pid, in first-appearance order (deterministic:
+	// the scan below follows the canonical event order).
+	pids := make(map[string]int)
+	var devs []string
+	pidOf := func(dev string) int {
+		if p, ok := pids[dev]; ok {
+			return p
+		}
+		p := len(devs) + 1
+		pids[dev] = p
+		devs = append(devs, dev)
+		return p
+	}
+	for _, ev := range evs {
+		pidOf(ev.Dev)
+	}
+
+	type openSpan struct {
+		begin Event
+		root  SpanID
+	}
+	open := make(map[SpanID]openSpan)
+	rootOf := func(parent SpanID) SpanID {
+		if os, ok := open[parent]; ok {
+			return os.root
+		}
+		return 0
+	}
+
+	if _, err := fmt.Fprint(bw, "{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	item := func(format string, args ...any) error {
+		if !first {
+			if _, err := fmt.Fprint(bw, ",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err := fmt.Fprintf(bw, format, args...)
+		return err
+	}
+	q := func(s string) string {
+		b, _ := json.Marshal(s) // marshaling a string never fails
+		return string(b)
+	}
+
+	for i, dev := range devs {
+		name := dev
+		if name == "" {
+			name = "sim"
+		}
+		if err := item(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":%s}}`,
+			i+1, q(name)); err != nil {
+			return err
+		}
+	}
+	for _, ev := range evs {
+		pid := pidOf(ev.Dev)
+		switch ev.Kind {
+		case KindSpanBegin:
+			root := rootOf(ev.Parent)
+			if root == 0 {
+				root = ev.Span
+			}
+			open[ev.Span] = openSpan{begin: ev, root: root}
+		case KindSpanEnd:
+			os, ok := open[ev.Span]
+			if !ok {
+				continue // unmatched end: tolerate truncated inputs
+			}
+			delete(open, ev.Span)
+			b := os.begin
+			if err := item(`{"name":%s,"cat":%s,"ph":"X","ts":%s,"dur":%s,"pid":%d,"tid":%d,"args":{"span":%d,"parent":%d}}`,
+				q(b.Name), q(b.Phase), micros(b.At), micros(ev.At-b.At),
+				pidOf(b.Dev), uint64(os.root), uint64(b.Span), uint64(b.Parent)); err != nil {
+				return err
+			}
+		case KindCounter:
+			if err := item(`{"name":%s,"ph":"C","ts":%s,"pid":%d,"tid":0,"args":{"value":%d}}`,
+				q(ev.Name), micros(ev.At), pid, ev.Value); err != nil {
+				return err
+			}
+		default:
+			if err := item(`{"name":%s,"cat":"kernel","ph":"i","s":"t","ts":%s,"pid":%d,"tid":0,"args":{"kind":%s,"value":%d}}`,
+				q(ev.Name), micros(ev.At), pid, q(ev.Kind.String()), ev.Value); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := fmt.Fprint(bw, "\n],\"displayTimeUnit\":\"ms\"}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,216 @@
+// Package trace is the deterministic virtual-time tracing subsystem.
+//
+// A Collector receives typed events from the simulation kernel
+// (process spawn/park/resume, resource acquire/release, link
+// transfers) and from instrumented device layers (spans decomposing
+// one I/O into software, queueing, bus, and flash-array phases). All
+// timestamps are virtual (sim.Env.Now offsets), so for a given seed a
+// rerun produces a bit-identical event stream — the trace doubles as
+// a replay-identity witness, the strongest determinism check in the
+// tree (DESIGN.md §8).
+//
+// Because every event is emitted from scheduler-serialized simulation
+// code, the Collector needs no locking: at most one process runs at a
+// time, and the (time, seq) order of emissions is itself part of the
+// determinism contract.
+//
+// All Collector methods are safe on a nil receiver (Begin returns the
+// zero SpanID, End/Counter/Emit are no-ops), so instrumentation sites
+// need no nil checks beyond what the hot path demands.
+package trace
+
+import "time"
+
+// Kind classifies an event.
+type Kind uint8
+
+// Event kinds. Span and counter events are always recorded; the
+// kernel-level kinds (proc/resource/transfer) are only emitted at
+// LevelFull, since they multiply the event volume by the number of
+// scheduler handoffs.
+const (
+	// KindSpanBegin/KindSpanEnd bracket a span: one phase of one
+	// operation (see the Phase* constants).
+	KindSpanBegin Kind = iota
+	KindSpanEnd
+	// KindProcSpawn marks a simulation process starting.
+	KindProcSpawn
+	// KindProcPark/KindProcResume mark a process blocking on and
+	// returning from a wait (time, signal, resource, queue).
+	KindProcPark
+	KindProcResume
+	// KindAcquire/KindRelease mark resource admission; Value carries
+	// the instantaneous queue depth (waiters at acquire time).
+	KindAcquire
+	KindRelease
+	// KindXferBegin/KindXferEnd bracket a link transfer; Value carries
+	// the byte count.
+	KindXferBegin
+	KindXferEnd
+	// KindCounter is a time-series sample; Value carries the sampled
+	// quantity (queue depth, bytes moved, busy flag).
+	KindCounter
+)
+
+var kindNames = [...]string{
+	"span_begin", "span_end",
+	"proc_spawn", "proc_park", "proc_resume",
+	"acquire", "release",
+	"xfer_begin", "xfer_end",
+	"counter",
+}
+
+// String returns the stable wire name of the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// KindFromString inverts String; ok is false for unknown names.
+func KindFromString(s string) (Kind, bool) {
+	for i, n := range kindNames {
+		if n == s {
+			return Kind(i), true
+		}
+	}
+	return 0, false
+}
+
+// Span phases: the latency decomposition of one I/O. These are the
+// categories the per-stage breakdown table and the Chrome export
+// group by.
+const (
+	// PhaseOp is a whole operation end-to-end (the root span).
+	PhaseOp = "op"
+	// PhaseSoftware is host software-stack time (submit/complete).
+	PhaseSoftware = "software"
+	// PhaseQueue is time waiting for admission: the channel engine,
+	// a full DRAM buffer, or a GC-starved free pool.
+	PhaseQueue = "queue"
+	// PhaseBus is channel-bus and host-interface transfer time.
+	PhaseBus = "bus"
+	// PhaseFlash is NAND array time (read, program, erase).
+	PhaseFlash = "flash"
+)
+
+// SpanID identifies a span; 0 means "no span" (used as the parent of
+// root spans).
+type SpanID uint64
+
+// Event is one trace record. At is virtual time; Seq is the global
+// emission sequence (the tiebreak for equal timestamps, mirroring the
+// scheduler's own ordering).
+type Event struct {
+	At     time.Duration
+	Seq    uint64
+	Kind   Kind
+	Span   SpanID
+	Parent SpanID
+	Dev    string // device label ("sdf", "gen3-8M", ...)
+	Name   string // span/process/resource/counter name
+	Phase  string // span phase (Phase* constants)
+	Value  int64  // bytes, queue depth, or counter sample
+}
+
+// Level selects how much the kernel emits.
+type Level uint8
+
+const (
+	// LevelSpans records spans and counters only (the default).
+	LevelSpans Level = iota
+	// LevelFull additionally records kernel events: process
+	// spawn/park/resume, resource acquire/release, link transfers.
+	LevelFull
+)
+
+// Collector accumulates events in emission order.
+type Collector struct {
+	events   []Event
+	nextSpan SpanID
+	seq      uint64
+	dev      string
+	level    Level
+}
+
+// NewCollector returns an empty collector at LevelSpans.
+func NewCollector() *Collector { return &Collector{} }
+
+// SetLevel selects the event detail level.
+func (c *Collector) SetLevel(l Level) {
+	if c != nil {
+		c.level = l
+	}
+}
+
+// Full reports whether kernel-level events should be emitted. It is
+// false on a nil collector, so the kernel's hot paths can guard with
+// a single call.
+func (c *Collector) Full() bool { return c != nil && c.level == LevelFull }
+
+// SetDev sets the device label stamped on subsequently emitted
+// events. Experiments set it before building each simulated device so
+// the breakdown table can attribute phases per device.
+func (c *Collector) SetDev(dev string) {
+	if c != nil {
+		c.dev = dev
+	}
+}
+
+// Emit appends one event, stamping the sequence number and current
+// device label. No-op on a nil collector.
+func (c *Collector) Emit(at time.Duration, kind Kind, span, parent SpanID, name, phase string, value int64) {
+	if c == nil {
+		return
+	}
+	c.seq++
+	c.events = append(c.events, Event{
+		At: at, Seq: c.seq, Kind: kind,
+		Span: span, Parent: parent,
+		Dev: c.dev, Name: name, Phase: phase, Value: value,
+	})
+}
+
+// Begin opens a span under parent (0 for a root span) and returns its
+// ID. On a nil collector it returns 0, which End ignores.
+func (c *Collector) Begin(at time.Duration, parent SpanID, name, phase string) SpanID {
+	if c == nil {
+		return 0
+	}
+	c.nextSpan++
+	id := c.nextSpan
+	c.Emit(at, KindSpanBegin, id, parent, name, phase, 0)
+	return id
+}
+
+// End closes a span opened by Begin. No-op for id 0 or a nil
+// collector.
+func (c *Collector) End(at time.Duration, id SpanID) {
+	if c == nil || id == 0 {
+		return
+	}
+	c.Emit(at, KindSpanEnd, id, 0, "", "", 0)
+}
+
+// Counter records one time-series sample. No-op on a nil collector.
+func (c *Collector) Counter(at time.Duration, name string, value int64) {
+	c.Emit(at, KindCounter, 0, 0, name, "", value)
+}
+
+// Events returns the recorded events in emission order. The slice is
+// owned by the collector; callers must not mutate it.
+func (c *Collector) Events() []Event {
+	if c == nil {
+		return nil
+	}
+	return c.events
+}
+
+// Len returns the number of recorded events.
+func (c *Collector) Len() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.events)
+}
