@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint trace-smoke check
+.PHONY: all build vet test race lint trace-smoke chaos-smoke check
 
 all: check
 
@@ -34,5 +34,19 @@ trace-smoke:
 	cmp trace-a.jsonl trace-b.jsonl
 	$(GO) run ./cmd/sdfctl trace summarize trace-a.jsonl
 	rm -f trace-b.json trace-b.jsonl
+
+# chaos-smoke runs the fault-injected availability experiment twice
+# under the built-in plan and requires byte-identical traces and bench
+# JSON — the replay guarantee must hold even while channels die, nodes
+# crash, and links degrade (DESIGN.md "Fault model & degraded mode").
+chaos-smoke:
+	$(GO) run ./cmd/sdfctl faults
+	$(GO) run ./cmd/sdfbench -quick -json -trace chaos-a.json faults
+	mv BENCH_faults.json BENCH_faults_a.json
+	$(GO) run ./cmd/sdfbench -quick -json -trace chaos-b.json faults
+	cmp chaos-a.json chaos-b.json
+	cmp chaos-a.jsonl chaos-b.jsonl
+	cmp BENCH_faults_a.json BENCH_faults.json
+	rm -f chaos-b.json chaos-b.jsonl BENCH_faults_a.json
 
 check: build vet race lint

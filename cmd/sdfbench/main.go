@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"sdf/internal/experiments"
+	"sdf/internal/fault"
 	"sdf/internal/trace"
 )
 
@@ -61,6 +62,7 @@ var registry = []entry{
 	{"readprio", "future work: reads over writes/erases", experiments.FutureWorkReadPriority},
 	{"placement", "future work: load-balanced write placement", experiments.FutureWorkPlacement},
 	{"activescan", "future work: in-storage filtered scan", experiments.FutureWorkActiveScan},
+	{"faults", "availability under injected faults", experiments.Faults},
 }
 
 func main() {
@@ -69,6 +71,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "write BENCH_<experiment>.json per experiment")
 	tracePath := flag.String("trace", "", "write a Chrome trace to this path (and JSONL alongside)")
 	traceFull := flag.Bool("trace-full", false, "with -trace, also record kernel events (spawn/park/acquire/xfer)")
+	faultsPath := flag.String("faults", "", "fault plan JSON for the faults experiment (default: built-in plan)")
 	flag.Parse()
 
 	if *list {
@@ -78,6 +81,14 @@ func main() {
 		return
 	}
 	opts := experiments.Options{Quick: *quick}
+	if *faultsPath != "" {
+		pl, err := fault.Load(*faultsPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdfbench: %v\n", err)
+			os.Exit(2)
+		}
+		opts.FaultPlan = pl
+	}
 	if *tracePath != "" {
 		opts.Tracer = trace.NewCollector()
 		if *traceFull {
@@ -165,7 +176,7 @@ func writeBenchJSON(name string, tab experiments.Table, quick bool) error {
 // JSONL stream next to it (same path with a .jsonl extension).
 func writeTraces(chromePath string, c *trace.Collector) error {
 	if c.Len() == 0 {
-		fmt.Fprintln(os.Stderr, "sdfbench: no trace events collected (only figure8 emits traces)")
+		fmt.Fprintln(os.Stderr, "sdfbench: no trace events collected (only figure8 and faults emit traces)")
 		return nil
 	}
 	chrome, err := os.Create(chromePath)

@@ -16,6 +16,11 @@
 //	          read a JSONL trace written by sdfbench -trace and print
 //	          the per-stage latency breakdown (count/mean/p50/p99 per
 //	          phase per device)
+//
+//	faults [plan.json]
+//	          validate a fault plan and print its schedule; with no
+//	          argument, print the availability experiment's built-in
+//	          plan
 package main
 
 import (
@@ -26,6 +31,8 @@ import (
 	"time"
 
 	"sdf/internal/core"
+	"sdf/internal/experiments"
+	"sdf/internal/fault"
 	"sdf/internal/flashchan"
 	"sdf/internal/hostif"
 	"sdf/internal/metrics"
@@ -38,7 +45,7 @@ func main() {
 	blocks := flag.Int("blocks", 16, "erase blocks per plane (scaled geometry)")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: sdfctl [-channels N] [-blocks N] info|exercise|wear|stack|trace")
+		fmt.Fprintln(os.Stderr, "usage: sdfctl [-channels N] [-blocks N] info|exercise|wear|stack|trace|faults")
 		os.Exit(2)
 	}
 
@@ -57,6 +64,16 @@ func main() {
 			os.Exit(2)
 		}
 		traceSummarize(flag.Arg(2))
+	case "faults":
+		if flag.NArg() > 2 {
+			fmt.Fprintln(os.Stderr, "usage: sdfctl faults [plan.json]")
+			os.Exit(2)
+		}
+		path := ""
+		if flag.NArg() == 2 {
+			path = flag.Arg(1)
+		}
+		faults(path)
 	default:
 		fmt.Fprintf(os.Stderr, "sdfctl: unknown command %q\n", flag.Arg(0))
 		os.Exit(2)
@@ -82,6 +99,25 @@ func traceSummarize(path string) {
 	}
 	fmt.Printf("%d events, %d span groups\n\n", len(events), len(stats))
 	fmt.Print(trace.FormatSummary(stats))
+}
+
+// faults validates and pretty-prints a fault plan; with no path it
+// shows the availability experiment's built-in schedule.
+func faults(path string) {
+	var pl *fault.Plan
+	if path == "" {
+		pl = experiments.DefaultAvailabilityPlan()
+		if err := pl.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("built-in availability plan (override with sdfbench -faults <plan.json>):")
+	} else {
+		var err error
+		if pl, err = fault.Load(path); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Print(pl.String())
 }
 
 func newDevice(channels, blocks int) (*sim.Env, *core.Device) {

@@ -91,10 +91,10 @@ func main() {
 			}
 		}
 		p.Wait(5 * time.Second) // let async read-repairs land
-		puts, gets, failovers, repairs, lost := group.Stats()
+		st := group.Stats()
 		fmt.Printf("  puts=%d gets=%d failovers=%d repairs=%d lost=%d corrupt=%d\n",
-			puts, gets, failovers, repairs, lost, bad)
-		if lost > 0 || bad > 0 {
+			st.Puts, st.Gets, st.Failovers, st.Repairs, st.Lost, bad)
+		if st.Lost > 0 || bad > 0 {
 			log.Fatal("replication failed to mask the bad device")
 		}
 		fmt.Println("  every value served correctly despite rack1's dead flash")

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"sdf/internal/core"
+	"sdf/internal/flashchan"
 	"sdf/internal/sim"
 	"sdf/internal/trace"
 )
@@ -63,6 +64,22 @@ type Config struct {
 	IdlePollInterval time.Duration
 	// Placement selects the write-placement policy.
 	Placement Placement
+
+	// QuarantineThreshold is how many consecutive command failures on
+	// one channel put it into quarantine. A dead-engine error
+	// quarantines immediately regardless of the count.
+	QuarantineThreshold int
+	// QuarantineWindow is how long a quarantined channel is excluded
+	// from write placement. Reads still go to it (the data lives
+	// there), and a read success ends the suspicion early.
+	QuarantineWindow time.Duration
+	// ReadRetries bounds how many times a failed read is retried
+	// before the error surfaces to the caller. Negative disables
+	// retries.
+	ReadRetries int
+	// RetryBackoff is the virtual-time wait before the first read
+	// retry; it doubles per attempt.
+	RetryBackoff time.Duration
 }
 
 // DefaultConfig enables idle-time erase scheduling with the
@@ -71,11 +88,15 @@ func DefaultConfig() Config {
 	return Config{BackgroundErase: true, IdlePollInterval: time.Millisecond}
 }
 
-// chanState tracks free space of one channel.
+// chanState tracks free space and health of one channel.
 type chanState struct {
 	erased []int // erased, ready to program
 	dirty  []int // invalidated, erase pending
 	work   *sim.Signal
+
+	consecErrs       int
+	quarantinedUntil time.Duration // virtual instant quarantine lifts
+	quarantines      int64
 }
 
 // Layer is the block layer instance bound to one SDF device.
@@ -91,6 +112,8 @@ type Layer struct {
 	backgroundErases int64
 	writes           int64
 	reads            int64
+	readRetries      int64
+	placementSkips   int64
 }
 
 // New builds the layer; all device blocks start as dirty (needing an
@@ -98,6 +121,18 @@ type Layer struct {
 func New(env *sim.Env, dev *core.Device, cfg Config) *Layer {
 	if cfg.IdlePollInterval <= 0 {
 		cfg.IdlePollInterval = time.Millisecond
+	}
+	if cfg.QuarantineThreshold <= 0 {
+		cfg.QuarantineThreshold = 3
+	}
+	if cfg.QuarantineWindow <= 0 {
+		cfg.QuarantineWindow = 100 * time.Millisecond
+	}
+	if cfg.ReadRetries == 0 {
+		cfg.ReadRetries = 2
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 50 * time.Microsecond
 	}
 	l := &Layer{
 		cfg:      cfg,
@@ -154,8 +189,76 @@ func (l *Layer) beginOp(p *sim.Proc, name string) func() {
 	}
 }
 
-// pickChannel applies the placement policy for a new write.
+// Healthy reports whether channel c should receive new writes: its
+// engine is alive and it is not inside a quarantine window.
+func (l *Layer) Healthy(c int) bool {
+	return l.dev.Channel(c).Alive() && l.env.Now() >= l.chans[c].quarantinedUntil
+}
+
+// recordSuccess clears the consecutive-error count after a completed
+// command. A success on a channel with an erase backlog also wakes the
+// background eraser: it parks while the engine is offline, and a
+// served command is the proof of revival it waits for.
+func (l *Layer) recordSuccess(c int) {
+	cs := l.chans[c]
+	cs.consecErrs = 0
+	if len(cs.dirty) > 0 {
+		cs.work.Fire()
+	}
+}
+
+// recordError counts one command failure. A dead engine quarantines
+// the channel immediately; other errors quarantine after
+// QuarantineThreshold consecutive failures.
+func (l *Layer) recordError(c int, err error) {
+	cs := l.chans[c]
+	cs.consecErrs++
+	if errors.Is(err, flashchan.ErrChannelDead) || cs.consecErrs >= l.cfg.QuarantineThreshold {
+		l.quarantine(c)
+	}
+}
+
+// quarantine excludes channel c from write placement for one window,
+// emitting a fault-phase span covering it. Re-quarantine on each
+// failed probe is how a permanently dead channel stays excluded — and
+// how a revived one is naturally readmitted when the window lapses.
+func (l *Layer) quarantine(c int) {
+	cs := l.chans[c]
+	until := l.env.Now() + l.cfg.QuarantineWindow
+	if until <= cs.quarantinedUntil {
+		return // an open window already covers this failure
+	}
+	cs.quarantinedUntil = until
+	cs.quarantines++
+	cs.consecErrs = 0
+	if t := l.env.Tracer(); t != nil {
+		span := t.Begin(l.env.Now(), 0, fmt.Sprintf("blocklayer/quarantine.%d", c), trace.PhaseFault)
+		l.env.Schedule(l.cfg.QuarantineWindow, func() { t.End(l.env.Now(), span) })
+	}
+}
+
+// pickChannel applies the placement policy, then degrades around
+// unhealthy channels: if the policy's pick is offline or quarantined,
+// probe forward for the nearest healthy channel with space. When every
+// channel is healthy this is exactly the policy's answer.
 func (l *Layer) pickChannel(id BlockID) int {
+	c := l.policyChannel(id)
+	if l.Healthy(c) {
+		return c
+	}
+	n := len(l.chans)
+	for i := 1; i < n; i++ {
+		alt := (c + i) % n
+		if l.Healthy(alt) && len(l.chans[alt].erased)+len(l.chans[alt].dirty) > 0 {
+			l.placementSkips++
+			return alt
+		}
+	}
+	return c // nothing healthy: let the policy channel report the error
+}
+
+// policyChannel is the placement policy proper, health-blind.
+func (l *Layer) policyChannel(id BlockID) int {
 	if l.cfg.Placement == PlacementHash {
 		return l.ChannelOf(id)
 	}
@@ -198,6 +301,11 @@ func (l *Layer) Write(p *sim.Proc, id BlockID, data []byte) (Handle, error) {
 		lbn = cs.erased[len(cs.erased)-1]
 		cs.erased = cs.erased[:len(cs.erased)-1]
 		if err := l.dev.Write(p, c, lbn, data); err != nil {
+			// Block state is uncertain after a failed program; return
+			// it via the dirty pool so it is re-erased before reuse.
+			cs.dirty = append(cs.dirty, lbn)
+			cs.work.Fire()
+			l.recordError(c, err)
 			return Handle{}, err
 		}
 	case len(cs.dirty) > 0:
@@ -205,11 +313,19 @@ func (l *Layer) Write(p *sim.Proc, id BlockID, data []byte) (Handle, error) {
 		cs.dirty = cs.dirty[:len(cs.dirty)-1]
 		l.inlineErases++
 		if err := l.dev.EraseWrite(p, c, lbn, data); err != nil {
+			if !errors.Is(err, flashchan.ErrOutOfSpace) {
+				// Keep the block in circulation unless its spares are
+				// exhausted; previously a failure here leaked the lbn.
+				cs.dirty = append(cs.dirty, lbn)
+				cs.work.Fire()
+			}
+			l.recordError(c, err)
 			return Handle{}, err
 		}
 	default:
 		return Handle{}, fmt.Errorf("%w: channel %d", ErrNoSpace, c)
 	}
+	l.recordSuccess(c)
 	h := Handle{Channel: c, LBN: lbn}
 	l.blocks[id] = h
 	l.writes++
@@ -217,7 +333,10 @@ func (l *Layer) Write(p *sim.Proc, id BlockID, data []byte) (Handle, error) {
 }
 
 // Read returns size bytes at byte offset off within the block written
-// under id. off and size must be page aligned.
+// under id. off and size must be page aligned. Transient failures
+// (an ECC burst, a dead-then-revived engine) are retried up to
+// ReadRetries times with exponential virtual-time backoff before the
+// error surfaces.
 func (l *Layer) Read(p *sim.Proc, id BlockID, off, size int) ([]byte, error) {
 	h, ok := l.blocks[id]
 	if !ok {
@@ -226,7 +345,30 @@ func (l *Layer) Read(p *sim.Proc, id BlockID, off, size int) ([]byte, error) {
 	end := l.beginOp(p, "blocklayer/read")
 	defer end()
 	l.reads++
-	return l.dev.Read(p, h.Channel, h.LBN, off, size)
+	for attempt := 0; ; attempt++ {
+		data, err := l.dev.Read(p, h.Channel, h.LBN, off, size)
+		if err == nil {
+			l.recordSuccess(h.Channel)
+			return data, nil
+		}
+		l.recordError(h.Channel, err)
+		if attempt >= l.cfg.ReadRetries || !retryable(err) {
+			return nil, err
+		}
+		l.readRetries++
+		backoff := l.cfg.RetryBackoff << uint(attempt)
+		t := l.env.Tracer()
+		span := t.Begin(l.env.Now(), p.Span(), "blocklayer/read-retry", trace.PhaseFault)
+		p.Wait(backoff)
+		t.End(l.env.Now(), span)
+	}
+}
+
+// retryable reports whether a read failure might clear on retry: a
+// random ECC burst redraws per read, and a dead engine may be revived.
+// Addressing and state errors are permanent.
+func retryable(err error) bool {
+	return errors.Is(err, flashchan.ErrUncorrectable) || errors.Is(err, flashchan.ErrChannelDead)
 }
 
 // Lookup returns the handle for id.
@@ -260,13 +402,28 @@ func (l *Layer) Stats() (writes, reads, inline, background int64) {
 	return l.writes, l.reads, l.inlineErases, l.backgroundErases
 }
 
+// HealthStats returns aggregate degraded-mode counters: quarantine
+// events across all channels, read retries performed, and writes
+// placed away from their policy channel because it was unhealthy.
+func (l *Layer) HealthStats() (quarantines, readRetries, placementSkips int64) {
+	for _, cs := range l.chans {
+		quarantines += cs.quarantines
+	}
+	return quarantines, l.readRetries, l.placementSkips
+}
+
 // eraseLoop is the per-channel idle-time eraser: it drains the dirty
 // pool whenever the channel engine is idle, deferring to foreground
 // traffic otherwise.
 func (l *Layer) eraseLoop(p *sim.Proc, c int) {
 	cs := l.chans[c]
 	for {
-		if len(cs.dirty) == 0 {
+		if len(cs.dirty) == 0 || !l.dev.Channel(c).Alive() {
+			// Nothing to do — or the engine is offline and a timer poll
+			// would keep the event queue alive forever on a channel
+			// that never comes back. Park until more blocks are freed
+			// or a served command proves the engine revived
+			// (recordSuccess fires the signal).
 			if !cs.work.Fired() {
 				p.Await(cs.work)
 			}
@@ -280,8 +437,14 @@ func (l *Layer) eraseLoop(p *sim.Proc, c int) {
 		lbn := cs.dirty[len(cs.dirty)-1]
 		cs.dirty = cs.dirty[:len(cs.dirty)-1]
 		if err := l.dev.Erase(p, c, lbn); err != nil {
-			// The block could not be prepared (e.g. worn out); it is
-			// dropped from circulation.
+			if errors.Is(err, flashchan.ErrChannelDead) {
+				// Killed between the aliveness check and the command:
+				// keep the backlog for after revival.
+				cs.dirty = append(cs.dirty, lbn)
+				l.recordError(c, err)
+				continue
+			}
+			// Worn out or spare-exhausted; dropped from circulation.
 			continue
 		}
 		cs.erased = append(cs.erased, lbn)

@@ -246,6 +246,123 @@ func TestLookup(t *testing.T) {
 	env.Close()
 }
 
+func TestQuarantineWindowExcludesWrites(t *testing.T) {
+	env := sim.NewEnv()
+	d := smallDevice(t, env, false)
+	cfg := DefaultConfig()
+	cfg.QuarantineWindow = 10 * time.Millisecond
+	cfg.ReadRetries = -1 // surface the failure fast; quarantine still fires
+	l := New(env, d, cfg)
+	env.RunUntil(2 * time.Second) // pre-erase
+	w := env.Go("t", func(p *sim.Proc) {
+		if _, err := l.Write(p, 2, nil); err != nil {
+			t.Error(err)
+			return
+		}
+		d.Channel(2).Kill()
+		if _, err := l.Read(p, 2, 0, l.PageSize()); err == nil {
+			t.Error("read on dead channel succeeded")
+		}
+		d.Channel(2).Revive()
+		// Still inside the quarantine window: the hash channel (2) is
+		// skipped even though the engine is back.
+		h, err := l.Write(p, 6, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if h.Channel == 2 {
+			t.Error("write placed on quarantined channel")
+		}
+		p.Wait(cfg.QuarantineWindow)
+		h2, err := l.Write(p, 10, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if h2.Channel != 2 {
+			t.Errorf("write after window placed on channel %d, want 2", h2.Channel)
+		}
+	})
+	env.RunUntilDone(w)
+	env.Close()
+	q, _, skips := l.HealthStats()
+	if q == 0 || skips == 0 {
+		t.Fatalf("HealthStats quarantines=%d placementSkips=%d, want both > 0", q, skips)
+	}
+}
+
+func TestReadRetryRecoversRevivedChannel(t *testing.T) {
+	env := sim.NewEnv()
+	d := smallDevice(t, env, true)
+	l := New(env, d, DefaultConfig())
+	data := make([]byte, l.BlockSize())
+	rand.New(rand.NewSource(3)).Read(data)
+	w := env.Go("t", func(p *sim.Proc) {
+		if _, err := l.Write(p, 1, data); err != nil {
+			t.Error(err)
+			return
+		}
+		d.Channel(1).Kill()
+		// Revive mid-backoff: the first retry (after the default 50 µs)
+		// must find the engine back and serve the data.
+		env.Schedule(40*time.Microsecond, func() { d.Channel(1).Revive() })
+		got, err := l.Read(p, 1, 0, l.PageSize())
+		if err != nil {
+			t.Errorf("read with retry: %v", err)
+			return
+		}
+		if !bytes.Equal(got, data[:l.PageSize()]) {
+			t.Error("read-back mismatch after revival")
+		}
+	})
+	env.RunUntilDone(w)
+	env.Close()
+	_, retries, _ := l.HealthStats()
+	if retries == 0 {
+		t.Fatal("no read retries recorded")
+	}
+}
+
+func TestEraserSurvivesDeadChannel(t *testing.T) {
+	env := sim.NewEnv()
+	d := smallDevice(t, env, false)
+	l := New(env, d, DefaultConfig())
+	env.RunUntil(2 * time.Second) // pre-erase
+	w := env.Go("t", func(p *sim.Proc) {
+		if _, err := l.Write(p, 0, nil); err != nil {
+			t.Error(err)
+			return
+		}
+		d.Channel(0).Kill()
+		if err := l.Free(p, 0); err != nil {
+			t.Error(err)
+		}
+	})
+	env.RunUntilDone(w)
+	// The freed block cannot be erased while the engine is dead. The
+	// eraser must park rather than poll, or this Run would never
+	// return; the backlog must survive, not be dropped.
+	env.Run()
+	if _, dirty := l.FreeBlocks(0); dirty != 1 {
+		t.Fatalf("dirty pool = %d while dead, want 1 (block dropped?)", dirty)
+	}
+	d.Channel(0).Revive()
+	w2 := env.Go("t2", func(p *sim.Proc) {
+		// A served command on the revived channel is what wakes the
+		// parked eraser.
+		if _, err := l.Write(p, 4, nil); err != nil {
+			t.Error(err)
+		}
+	})
+	env.RunUntilDone(w2)
+	env.Run() // idle time for the eraser to drain the backlog
+	if _, dirty := l.FreeBlocks(0); dirty != 0 {
+		t.Fatalf("dirty pool = %d after revival, want 0", dirty)
+	}
+	env.Close()
+}
+
 func TestLeastLoadedPlacementSpreadsWriters(t *testing.T) {
 	env := sim.NewEnv()
 	d := smallDevice(t, env, false)

@@ -11,18 +11,36 @@
 // the rare event the paper saw once across 2000+ cards in six months
 // — the group transparently recovers the value from another replica
 // and repairs the failed node.
+//
+// Degraded-mode operation (DESIGN.md §9): replica writes are bounded
+// by a virtual-time deadline, slow reads are hedged at the next
+// replica after HedgeAfter, crashed nodes are skipped and their missed
+// writes tracked per key, and a restarted node is re-replicated from
+// its healthy peers in the background.
 package cluster
 
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"time"
 
 	"sdf/internal/ccdb"
 	"sdf/internal/sim"
+	"sdf/internal/trace"
 )
 
-// ErrAllReplicasFailed is returned when no replica can serve a read.
-var ErrAllReplicasFailed = errors.New("cluster: all replicas failed")
+// Group errors.
+var (
+	// ErrAllReplicasFailed is returned when no replica can serve a read.
+	ErrAllReplicasFailed = errors.New("cluster: all replicas failed")
+	// ErrNodeDown reports an operation skipped because the node is
+	// crashed.
+	ErrNodeDown = errors.New("cluster: node down")
+	// ErrReplicaTimeout reports a replica write that missed the
+	// group's deadline.
+	ErrReplicaTimeout = errors.New("cluster: replica deadline exceeded")
+)
 
 // Node is one storage server holding a replica: a CCDB slice plus the
 // NIC that replication traffic crosses.
@@ -30,22 +48,75 @@ type Node struct {
 	Name  string
 	Slice *ccdb.Slice
 	nic   *sim.SharedLink
+	alive bool
+	// dirty tracks keys this node missed (a put that failed or
+	// timed out here, or arrived while the node was down). Read-repair
+	// and restart-time re-replication reconcile them.
+	dirty map[string]bool
 }
 
 // NewNode wraps a slice as a replica node with a 10 GbE NIC.
 func NewNode(env *sim.Env, name string, slice *ccdb.Slice) *Node {
-	return &Node{Name: name, Slice: slice, nic: sim.NewSharedLink(env, 1.25e9)}
+	return &Node{
+		Name:  name,
+		Slice: slice,
+		nic:   sim.NewSharedLink(env, 1.25e9),
+		alive: true,
+		dirty: make(map[string]bool),
+	}
 }
+
+// NIC returns the node's network link, so fault plans can degrade it.
+func (n *Node) NIC() *sim.SharedLink { return n.nic }
+
+// Alive reports whether the node is serving requests.
+func (n *Node) Alive() bool { return n.alive }
 
 // Config tunes a replica group.
 type Config struct {
 	// RepairOnRead rewrites a value to a replica that failed to serve
 	// it (read-repair). Disable to observe bare failover.
 	RepairOnRead bool
+	// ReplicaDeadline bounds how long a Put waits for each replica
+	// acknowledgment (virtual time, measured from the start of the
+	// Put). A replica that misses it counts as failed and is marked
+	// dirty for repair. 0 waits forever.
+	ReplicaDeadline time.Duration
+	// HedgeAfter launches the read at the next replica when the
+	// current one has not answered within this much virtual time,
+	// instead of waiting for it to fail. 0 disables hedging.
+	HedgeAfter time.Duration
 }
 
-// DefaultConfig enables read-repair.
-func DefaultConfig() Config { return Config{RepairOnRead: true} }
+// DefaultConfig enables read-repair, a 500 ms replica write deadline,
+// and 20 ms read hedging.
+func DefaultConfig() Config {
+	return Config{
+		RepairOnRead:    true,
+		ReplicaDeadline: 500 * time.Millisecond,
+		HedgeAfter:      20 * time.Millisecond,
+	}
+}
+
+// Stats are the group's cumulative counters.
+type Stats struct {
+	// Puts counts fully acknowledged writes; Gets counts reads.
+	Puts, Gets int64
+	// Failovers counts reads served by a non-primary replica.
+	Failovers int64
+	// Repairs counts successful read-repair writebacks.
+	Repairs int64
+	// Lost counts reads no replica could serve.
+	Lost int64
+	// DivergentPuts counts writes that failed or timed out on some
+	// replicas but landed on others: the caller saw an error, yet
+	// surviving replicas hold the value until repair reconciles it.
+	DivergentPuts int64
+	// Hedges counts hedged reads launched after HedgeAfter elapsed.
+	Hedges int64
+	// Rereplications counts keys copied back to a restarted node.
+	Rereplications int64
+}
 
 // Group is a replicated keyspace across nodes; nodes[0] is the
 // preferred (primary) read target.
@@ -53,12 +124,7 @@ type Group struct {
 	env   *sim.Env
 	cfg   Config
 	nodes []*Node
-
-	puts      int64
-	gets      int64
-	failovers int64
-	repairs   int64
-	lost      int64
+	stats Stats
 }
 
 // NewGroup builds a group over the given nodes.
@@ -72,80 +138,288 @@ func NewGroup(env *sim.Env, cfg Config, nodes ...*Node) (*Group, error) {
 // Replicas returns the replication factor.
 func (g *Group) Replicas() int { return len(g.nodes) }
 
-// Stats returns (puts, gets, failovers, repairs, lost reads).
-func (g *Group) Stats() (puts, gets, failovers, repairs, lost int64) {
-	return g.puts, g.gets, g.failovers, g.repairs, g.lost
+// Nodes returns the replica nodes in placement order.
+func (g *Group) Nodes() []*Node { return g.nodes }
+
+// Stats returns the group's cumulative counters.
+func (g *Group) Stats() Stats { return g.stats }
+
+// CrashNode takes the named node out of service: subsequent puts skip
+// it (marking missed keys dirty) and reads fail over past it. It
+// reports whether the node was found alive.
+func (g *Group) CrashNode(name string) bool {
+	for _, node := range g.nodes {
+		if node.Name == name && node.alive {
+			node.alive = false
+			return true
+		}
+	}
+	return false
 }
 
-// Put stores the value on every replica in parallel and returns when
-// all acknowledge — write availability follows the slowest node, as
-// in a synchronously replicated store. The value crosses each node's
-// NIC before the slice write.
+// RestartNode brings a crashed node back and starts background
+// re-replication of every key it missed, copied from healthy peers.
+// It reports whether the node was found crashed.
+func (g *Group) RestartNode(name string) bool {
+	for _, node := range g.nodes {
+		if node.Name == name && !node.alive {
+			node.alive = true
+			node := node
+			g.env.Go("cluster/rereplicate", func(p *sim.Proc) {
+				g.rereplicate(p, node)
+			})
+			return true
+		}
+	}
+	return false
+}
+
+// Put stores the value on every live replica in parallel and returns
+// when all acknowledge or the replica deadline lapses — write
+// availability follows the slowest node up to ReplicaDeadline. The
+// value crosses each node's NIC before the slice write.
+//
+// On partial failure Put returns the first error, but the replicas
+// that acknowledged keep the value: the group is diverged
+// (DivergentPuts) until read-repair or re-replication reconciles the
+// nodes marked dirty.
 func (g *Group) Put(p *sim.Proc, key string, value []byte, size int) error {
-	errs := make([]error, len(g.nodes))
-	var workers []*sim.Proc
+	n := len(g.nodes)
+	errs := make([]error, n)
+	workers := make([]*sim.Proc, n)
 	for i, node := range g.nodes {
+		if !node.alive {
+			errs[i] = fmt.Errorf("%w: %s", ErrNodeDown, node.Name)
+			continue
+		}
 		i, node := i, node
-		w := g.env.Go("cluster/put", func(wp *sim.Proc) {
+		workers[i] = g.env.Go("cluster/put", func(wp *sim.Proc) {
 			node.nic.Transfer(wp, size)
 			errs[i] = node.Slice.Put(wp, key, value, size)
 		})
-		workers = append(workers, w)
 	}
-	for _, w := range workers {
-		p.Join(w)
-	}
-	for _, err := range errs {
-		if err != nil {
-			return err
+	deadline := g.env.Now() + g.cfg.ReplicaDeadline
+	for i, w := range workers {
+		if w == nil {
+			continue
+		}
+		if g.cfg.ReplicaDeadline <= 0 {
+			p.Join(w)
+			continue
+		}
+		waitStart := g.env.Now()
+		if !awaitWithin(g.env, p, w.DoneSignal(), deadline-waitStart) {
+			errs[i] = fmt.Errorf("%w: %s", ErrReplicaTimeout, g.nodes[i].Name)
+			t := g.env.Tracer()
+			span := t.Begin(waitStart, 0, "cluster/put-timeout", trace.PhaseFault)
+			t.End(g.env.Now(), span)
 		}
 	}
-	g.puts++
-	return nil
-}
-
-// Get reads from the primary and fails over to the other replicas on
-// any read error (uncorrectable ECC, worn-out blocks). With
-// RepairOnRead, a recovered value is written back to the nodes that
-// failed to serve it.
-func (g *Group) Get(p *sim.Proc, key string) ([]byte, int, error) {
-	g.gets++
-	var failed []*Node
-	for i, node := range g.nodes {
-		value, size, err := node.Slice.Get(p, key)
+	acks := 0
+	var firstErr error
+	for i, err := range errs {
 		if err == nil {
-			if i > 0 {
-				g.failovers++
-			}
-			node.nic.Transfer(p, size)
-			if len(failed) > 0 && g.cfg.RepairOnRead {
-				g.repair(p, failed, key, value, size)
-			}
-			return value, size, nil
+			acks++
+			continue
 		}
-		if errors.Is(err, ccdb.ErrNotFound) {
-			// A key absent at the primary is absent everywhere
-			// (replication is synchronous); report it directly.
-			return nil, 0, err
+		if firstErr == nil {
+			firstErr = err
 		}
-		// Device-level failure (most prominently an uncorrectable
-		// BCH sector, flashchan.ErrUncorrectable): try the next
-		// replica and remember this node for read-repair.
-		failed = append(failed, node)
+		g.nodes[i].dirty[key] = true
 	}
-	g.lost++
-	return nil, 0, fmt.Errorf("%w: %q", ErrAllReplicasFailed, key)
+	if firstErr == nil {
+		g.stats.Puts++
+		return nil
+	}
+	if acks > 0 {
+		g.stats.DivergentPuts++
+	}
+	return firstErr
 }
 
-// repair rewrites a recovered value to the replicas that failed.
-func (g *Group) repair(p *sim.Proc, failed []*Node, key string, value []byte, size int) {
+// Get serves a read from the replicas in placement order, hedging to
+// the next one when the current read is slow (HedgeAfter) and failing
+// over on any read error (uncorrectable ECC, dead channels, crashed
+// nodes). With RepairOnRead, a recovered value is written back to the
+// replicas that failed to serve it — including nodes diverged by an
+// earlier partial Put.
+func (g *Group) Get(p *sim.Proc, key string) ([]byte, int, error) {
+	g.stats.Gets++
+	type result struct {
+		value []byte
+		size  int
+		err   error
+	}
+	n := len(g.nodes)
+	res := make([]*result, n)
+	readers := make([]*sim.Proc, n)
+	handled := make([]bool, n)
+	var outstanding []int
+	var failed []*Node
+	next := 0
+	var hedgeAt time.Duration
+	for {
+		// Collect finished readers in replica order.
+		for _, i := range outstanding {
+			if handled[i] || res[i] == nil {
+				continue
+			}
+			handled[i] = true
+			r, node := res[i], g.nodes[i]
+			if r.err == nil {
+				if i > 0 {
+					g.stats.Failovers++
+				}
+				node.nic.Transfer(p, r.size)
+				g.repairAfterRead(node, key, r.value, r.size, failed)
+				return r.value, r.size, nil
+			}
+			if errors.Is(r.err, ccdb.ErrNotFound) && !node.dirty[key] {
+				// A key absent on an in-sync replica is absent
+				// everywhere (replication is synchronous); report it
+				// directly. A dirty replica's NotFound proves nothing.
+				return nil, 0, r.err
+			}
+			failed = append(failed, node)
+		}
+		live := outstanding[:0]
+		for _, i := range outstanding {
+			if !handled[i] {
+				live = append(live, i)
+			}
+		}
+		outstanding = live
+		for next < n && !g.nodes[next].alive {
+			next++ // crash-aware: never wait on a dead node
+		}
+		if len(outstanding) == 0 && next >= n {
+			g.stats.Lost++
+			return nil, 0, fmt.Errorf("%w: %q", ErrAllReplicasFailed, key)
+		}
+		hedgeable := g.cfg.HedgeAfter > 0 && len(outstanding) > 0
+		if next < n && (len(outstanding) == 0 || (hedgeable && g.env.Now() >= hedgeAt)) {
+			if len(outstanding) > 0 {
+				g.stats.Hedges++
+				t := g.env.Tracer()
+				span := t.Begin(g.env.Now(), 0, "cluster/hedge", trace.PhaseFault)
+				t.End(g.env.Now(), span)
+			}
+			i, node := next, g.nodes[next]
+			readers[i] = g.env.Go("cluster/get", func(wp *sim.Proc) {
+				v, size, err := node.Slice.Get(wp, key)
+				res[i] = &result{v, size, err}
+			})
+			outstanding = append(outstanding, i)
+			next++
+			hedgeAt = g.env.Now() + g.cfg.HedgeAfter
+			continue
+		}
+		// Park until any outstanding read finishes or the hedge timer
+		// says to try the next replica.
+		step := sim.NewSignal(g.env)
+		for _, i := range outstanding {
+			done := readers[i].DoneSignal()
+			g.env.Go("cluster/watch", func(wp *sim.Proc) {
+				wp.Await(done)
+				step.Fire()
+			})
+		}
+		if g.cfg.HedgeAfter > 0 && next < n {
+			g.env.Schedule(hedgeAt-g.env.Now(), func() { step.Fire() })
+		}
+		p.Await(step)
+	}
+}
+
+// repairAfterRead schedules read-repair for the replicas that failed
+// this read plus any live replica still dirty for the key.
+func (g *Group) repairAfterRead(winner *Node, key string, value []byte, size int, failed []*Node) {
+	if !g.cfg.RepairOnRead {
+		return
+	}
+	inFailed := make(map[*Node]bool, len(failed))
 	for _, node := range failed {
+		inFailed[node] = true
+	}
+	var targets []*Node
+	for _, node := range g.nodes {
+		if node == winner || !node.alive {
+			continue
+		}
+		if inFailed[node] || node.dirty[key] {
+			targets = append(targets, node)
+		}
+	}
+	g.repair(targets, key, value, size)
+}
+
+// repair rewrites a recovered value to the given replicas.
+func (g *Group) repair(targets []*Node, key string, value []byte, size int) {
+	for _, node := range targets {
 		node := node
 		g.env.Go("cluster/repair", func(wp *sim.Proc) {
+			if !node.alive {
+				return
+			}
 			node.nic.Transfer(wp, size)
 			if err := node.Slice.Put(wp, key, value, size); err == nil {
-				g.repairs++
+				delete(node.dirty, key)
+				g.stats.Repairs++
 			}
 		})
 	}
+}
+
+// rereplicate copies every key a restarted node missed from its
+// healthy peers, in sorted key order for determinism.
+func (g *Group) rereplicate(p *sim.Proc, node *Node) {
+	if len(node.dirty) == 0 {
+		return
+	}
+	t := g.env.Tracer()
+	span := t.Begin(g.env.Now(), 0, "cluster/rereplicate."+node.Name, trace.PhaseFault)
+	keys := make([]string, 0, len(node.dirty))
+	for k := range node.dirty {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		for _, peer := range g.nodes {
+			if peer == node || !peer.alive {
+				continue
+			}
+			value, size, err := peer.Slice.Get(p, key)
+			if err != nil {
+				continue
+			}
+			node.nic.Transfer(p, size)
+			if err := node.Slice.Put(p, key, value, size); err == nil {
+				delete(node.dirty, key)
+				g.stats.Rereplications++
+			}
+			break
+		}
+	}
+	t.End(g.env.Now(), span)
+}
+
+// awaitWithin waits for done to fire, but no longer than d of virtual
+// time; it reports whether done fired in time. The timer event and
+// the watcher process are both one-shot, so a missing completion
+// cannot keep the event queue alive.
+func awaitWithin(env *sim.Env, p *sim.Proc, done *sim.Signal, d time.Duration) bool {
+	if done.Fired() {
+		return true
+	}
+	if d <= 0 {
+		return false
+	}
+	step := sim.NewSignal(env)
+	env.Schedule(d, func() { step.Fire() })
+	env.Go("cluster/await", func(wp *sim.Proc) {
+		wp.Await(done)
+		step.Fire()
+	})
+	p.Await(step)
+	return done.Fired()
 }

@@ -61,10 +61,10 @@ func TestReplicatedRoundTrip(t *testing.T) {
 		}
 	})
 	env.RunUntilDone(w)
-	puts, gets, failovers, _, lost := g.Stats()
+	st := g.Stats()
 	env.Close()
-	if puts != 1 || gets != 1 || failovers != 0 || lost != 0 {
-		t.Fatalf("stats = %d/%d/%d/%d", puts, gets, failovers, lost)
+	if st.Puts != 1 || st.Gets != 1 || st.Failovers != 0 || st.Lost != 0 {
+		t.Fatalf("stats = %+v", st)
 	}
 }
 
@@ -123,13 +123,13 @@ func TestFailoverOnUncorrectableECC(t *testing.T) {
 		}
 	})
 	env.RunUntilDone(w)
-	_, _, failovers, _, lost := g.Stats()
+	st := g.Stats()
 	env.Close()
-	if failovers != 1 {
-		t.Fatalf("failovers = %d, want 1", failovers)
+	if st.Failovers != 1 {
+		t.Fatalf("failovers = %d, want 1", st.Failovers)
 	}
-	if lost != 0 {
-		t.Fatalf("lost = %d, want 0", lost)
+	if st.Lost != 0 {
+		t.Fatalf("lost = %d, want 0", st.Lost)
 	}
 }
 
@@ -164,11 +164,10 @@ func TestReadRepairRestoresReplica(t *testing.T) {
 		}
 	})
 	env.RunUntilDone(w)
-	_, _, _, repairs, _ := g.Stats()
-	env.Close()
-	if repairs != 1 {
+	if repairs := g.Stats().Repairs; repairs != 1 {
 		t.Fatalf("repairs = %d, want 1", repairs)
 	}
+	env.Close()
 }
 
 func TestAllReplicasFailed(t *testing.T) {
@@ -198,10 +197,164 @@ func TestAllReplicasFailed(t *testing.T) {
 		}
 	})
 	env.RunUntilDone(w)
-	_, _, _, _, lost := g.Stats()
+	lost := g.Stats().Lost
 	env.Close()
 	if lost != 1 {
 		t.Fatalf("lost = %d, want 1", lost)
+	}
+}
+
+func TestDivergentPutRepairedOnRead(t *testing.T) {
+	env := sim.NewEnv()
+	a := newNode(t, env, "a", 0)
+	b := newNode(t, env, "b", 0)
+	c := newNode(t, env, "c", 0)
+	g, err := NewGroup(env, DefaultConfig(), a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := bytes.Repeat([]byte{3}, 20_000)
+	w := env.Go("t", func(p *sim.Proc) {
+		// Choke c's NIC so its replica write misses the deadline: the
+		// Put must surface the error while a and b keep the value.
+		c.NIC().SetRateFactor(1e-9)
+		err := g.Put(p, "k", val, len(val))
+		if !errors.Is(err, ErrReplicaTimeout) {
+			t.Errorf("Put with stalled replica: %v, want ErrReplicaTimeout", err)
+			return
+		}
+		c.NIC().SetRateFactor(1)
+		// The surviving replicas serve the key despite the failed Put.
+		got, _, err := g.Get(p, "k")
+		if err != nil || !bytes.Equal(got, val) {
+			t.Errorf("Get of diverged key: %v", err)
+			return
+		}
+		p.Wait(2 * time.Second) // let the async read-repair land
+		v, _, err := c.Slice.Get(p, "k")
+		if err != nil || !bytes.Equal(v, val) {
+			t.Errorf("diverged replica not repaired: %v", err)
+		}
+	})
+	env.RunUntilDone(w)
+	st := g.Stats()
+	env.Close()
+	if st.DivergentPuts != 1 {
+		t.Fatalf("divergentPuts = %d, want 1", st.DivergentPuts)
+	}
+	if st.Lost != 0 {
+		t.Fatalf("lost = %d, want 0", st.Lost)
+	}
+}
+
+func TestCrashRestartRereplicates(t *testing.T) {
+	env := sim.NewEnv()
+	a := newNode(t, env, "a", 0)
+	b := newNode(t, env, "b", 0)
+	c := newNode(t, env, "c", 0)
+	g, err := NewGroup(env, DefaultConfig(), a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := bytes.Repeat([]byte{5}, 15_000)
+	w := env.Go("t", func(p *sim.Proc) {
+		if !g.CrashNode("c") {
+			t.Error("CrashNode failed")
+			return
+		}
+		// The put errors (first error is the down node) but the two
+		// surviving replicas hold the value — a diverged write.
+		if err := g.Put(p, "k", val, len(val)); !errors.Is(err, ErrNodeDown) {
+			t.Errorf("Put with crashed node: %v, want ErrNodeDown", err)
+			return
+		}
+		got, _, err := g.Get(p, "k")
+		if err != nil || !bytes.Equal(got, val) {
+			t.Errorf("Get during crash: %v", err)
+			return
+		}
+		if !g.RestartNode("c") {
+			t.Error("RestartNode failed")
+			return
+		}
+		p.Wait(2 * time.Second) // background re-replication
+		v, _, err := c.Slice.Get(p, "k")
+		if err != nil || !bytes.Equal(v, val) {
+			t.Errorf("restarted node missing re-replicated key: %v", err)
+		}
+	})
+	env.RunUntilDone(w)
+	st := g.Stats()
+	env.Close()
+	if st.DivergentPuts != 1 {
+		t.Fatalf("divergentPuts = %d, want 1", st.DivergentPuts)
+	}
+	if st.Rereplications != 1 {
+		t.Fatalf("rereplications = %d, want 1", st.Rereplications)
+	}
+	if st.Lost != 0 {
+		t.Fatalf("lost = %d, want 0", st.Lost)
+	}
+}
+
+func TestHedgedReadMasksSlowPrimary(t *testing.T) {
+	env := sim.NewEnv()
+	cfgDev := core.DefaultConfig()
+	cfgDev.Channels = 4
+	cfgDev.Channel.Nand.BlocksPerPlane = 16
+	cfgDev.Channel.Nand.PagesPerBlock = 16
+	cfgDev.Channel.Nand.RetainData = true
+	cfgDev.Channel.ECC = true
+	cfgDev.Channel.SparePerPlane = 2
+	dev, err := core.New(env, cfgDev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := ccdb.NewSDFStore(blocklayer.New(env, dev, blocklayer.DefaultConfig()))
+	primary := NewNode(env, "primary", ccdb.NewSlice(env, store, ccdb.Config{
+		PatchBytes:  store.BlockSize(),
+		RunsPerTier: 8,
+		DataMode:    true,
+	}))
+	backup := newNode(t, env, "backup", 0)
+	g, err := NewGroup(env, DefaultConfig(), primary, backup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := bytes.Repeat([]byte{8}, 20_000)
+	w := env.Go("t", func(p *sim.Proc) {
+		if err := g.Put(p, "k", val, len(val)); err != nil {
+			t.Error(err)
+			return
+		}
+		// Push the primary's copy to flash, then stall every channel
+		// well past HedgeAfter: the read must be hedged at the backup
+		// instead of waiting the stall out.
+		if err := primary.Slice.Flush(p); err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < dev.Channels(); i++ {
+			dev.Channel(i).Hang(500 * time.Millisecond)
+		}
+		start := env.Now()
+		got, _, err := g.Get(p, "k")
+		if err != nil || !bytes.Equal(got, val) {
+			t.Errorf("hedged Get: %v", err)
+			return
+		}
+		if lat := env.Now() - start; lat >= 400*time.Millisecond {
+			t.Errorf("hedged read took %v; hedge did not mask the stall", lat)
+		}
+	})
+	env.RunUntilDone(w)
+	st := g.Stats()
+	env.Close()
+	if st.Hedges == 0 {
+		t.Fatal("no hedged read recorded")
+	}
+	if st.Failovers == 0 {
+		t.Fatal("hedge winner not counted as failover")
 	}
 }
 
@@ -262,7 +415,7 @@ func TestManyKeysSurviveOneSickReplica(t *testing.T) {
 		}
 	})
 	env.RunUntilDone(w)
-	_, _, _, _, lost := g.Stats()
+	lost := g.Stats().Lost
 	env.Close()
 	if lost != 0 {
 		t.Fatalf("lost = %d, want 0", lost)

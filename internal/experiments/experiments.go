@@ -13,6 +13,7 @@ import (
 
 	"sdf/internal/blocklayer"
 	"sdf/internal/core"
+	"sdf/internal/fault"
 	"sdf/internal/sim"
 	"sdf/internal/ssd"
 	"sdf/internal/trace"
@@ -25,10 +26,13 @@ type Options struct {
 	Quick bool
 	// Tracer, when non-nil, collects virtual-time trace events from
 	// experiments that support tracing (currently Figure 8, the
-	// latency-decomposition experiment). The same collector accumulates
-	// across the experiment's sequential simulations; exporters re-sort
-	// into canonical order.
+	// latency-decomposition experiment, and Faults). The same collector
+	// accumulates across the experiment's sequential simulations;
+	// exporters re-sort into canonical order.
 	Tracer *trace.Collector
+	// FaultPlan overrides the availability experiment's default fault
+	// schedule (sdfbench -faults plan.json).
+	FaultPlan *fault.Plan
 }
 
 // scale returns d, halved in quick mode.

@@ -1,0 +1,120 @@
+package fault
+
+import (
+	"fmt"
+
+	"sdf/internal/cluster"
+	"sdf/internal/core"
+	"sdf/internal/rpcnet"
+	"sdf/internal/sim"
+)
+
+// AttachDevice registers an SDF device's fault surfaces under
+// "<name>/chan<i>" (channel kill/hang/bad-block/ECC targets) and
+// "<name>/pcie" (link degradation).
+func AttachDevice(inj *Injector, name string, dev *core.Device) {
+	for i := 0; i < dev.Channels(); i++ {
+		ch := dev.Channel(i)
+		inj.Register(fmt.Sprintf("%s/chan%d", name, i), func(in Injection) func() {
+			switch in.Kind {
+			case ChannelKill:
+				ch.Kill()
+				if in.Duration > 0 {
+					return ch.Revive
+				}
+			case ChannelHang:
+				ch.Hang(in.Duration)
+				// The hang expires inside the channel engine; the no-op
+				// revert just holds the injector's fault span open for
+				// the hang window.
+				return func() {}
+			case GrownBadBlocks:
+				ch.GrowBadBlocks(in.Count)
+			case ECCBurst:
+				ch.SetBERBoost(in.Rate)
+				if in.Duration > 0 {
+					return func() { ch.SetBERBoost(0) }
+				}
+			}
+			return nil
+		})
+	}
+	pcie := dev.PCIe()
+	inj.Register(name+"/pcie", func(in Injection) func() {
+		if in.Kind != LinkDegrade {
+			return nil
+		}
+		old := pcie.RateFactor()
+		pcie.SetRateFactor(in.Factor)
+		if in.Duration > 0 {
+			return func() { pcie.SetRateFactor(old) }
+		}
+		return nil
+	})
+}
+
+// AttachGroup registers every node of a replica group: the node name
+// itself takes node-crash/node-restart, and "<node>/nic" takes
+// link-degrade on the node's NIC.
+func AttachGroup(inj *Injector, g *cluster.Group) {
+	for _, node := range g.Nodes() {
+		node := node
+		inj.Register(node.Name, func(in Injection) func() {
+			switch in.Kind {
+			case NodeCrash:
+				g.CrashNode(node.Name)
+				if in.Duration > 0 {
+					return func() { g.RestartNode(node.Name) }
+				}
+			case NodeRestart:
+				g.RestartNode(node.Name)
+			}
+			return nil
+		})
+		inj.Register(node.Name+"/nic", linkHandler(node.NIC()))
+	}
+}
+
+// AttachLink registers a bare link under the given target name for
+// link-degrade injections.
+func AttachLink(inj *Injector, target string, l *sim.SharedLink) {
+	inj.Register(target, linkHandler(l))
+}
+
+func linkHandler(l *sim.SharedLink) Handler {
+	return func(in Injection) func() {
+		if in.Kind != LinkDegrade {
+			return nil
+		}
+		old := l.RateFactor()
+		l.SetRateFactor(in.Factor)
+		if in.Duration > 0 {
+			return func() { l.SetRateFactor(old) }
+		}
+		return nil
+	}
+}
+
+// AttachNetwork registers an RPC network under the given target name:
+// packet-loss flips the wire loss probability, link-degrade throttles
+// the server NIC pool.
+func AttachNetwork(inj *Injector, target string, n *rpcnet.Network) {
+	inj.Register(target, func(in Injection) func() {
+		switch in.Kind {
+		case PacketLoss:
+			old := n.LossRate()
+			n.InjectLoss(in.Rate)
+			if in.Duration > 0 {
+				return func() { n.InjectLoss(old) }
+			}
+		case LinkDegrade:
+			srv := n.ServerLink()
+			old := srv.RateFactor()
+			srv.SetRateFactor(in.Factor)
+			if in.Duration > 0 {
+				return func() { srv.SetRateFactor(old) }
+			}
+		}
+		return nil
+	})
+}

@@ -1,0 +1,166 @@
+package fault
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sdf/internal/blocklayer"
+	"sdf/internal/ccdb"
+	"sdf/internal/cluster"
+	"sdf/internal/core"
+	"sdf/internal/sim"
+)
+
+// chaosRun builds a 3-replica cluster of data-retaining SDF nodes,
+// preloads it, then runs closed-loop readers while the seed's
+// RandomPlan fires. It returns an error describing the first safety
+// violation: a read that failed or returned wrong bytes, or a nonzero
+// lost-read count. RandomPlan impairs at most one node at a time, so
+// with RF=3 every read has a healthy replica to fail over to.
+func chaosRun(t *testing.T, seed int64) error {
+	t.Helper()
+	// Sized to bound the BCH decode work that dominates wall time:
+	// one-page values, paced readers, and a horizon short enough to
+	// keep each seed under a few seconds while still spanning all six
+	// fault epochs.
+	const (
+		channels = 8
+		horizon  = 400 * time.Millisecond
+		nKeys    = 32
+		valSize  = 8 << 10
+	)
+	env := sim.NewEnv()
+	defer env.Close()
+	inj := NewInjector(env)
+	names := []string{"n1", "n2", "n3"}
+	var nodes []*cluster.Node
+	var slices []*ccdb.Slice
+	for _, name := range names {
+		cfg := core.DefaultConfig()
+		cfg.Channels = channels
+		cfg.Channel.Nand.BlocksPerPlane = 16
+		cfg.Channel.Nand.PagesPerBlock = 4
+		cfg.Channel.Nand.RetainData = true
+		cfg.Channel.ECC = true
+		cfg.Channel.SparePerPlane = 2
+		dev, err := core.New(env, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		AttachDevice(inj, name, dev)
+		store := ccdb.NewSDFStore(blocklayer.New(env, dev, blocklayer.DefaultConfig()))
+		slice := ccdb.NewSlice(env, store, ccdb.Config{
+			PatchBytes:  store.BlockSize(),
+			RunsPerTier: 8,
+			DataMode:    true,
+		})
+		nodes = append(nodes, cluster.NewNode(env, name, slice))
+		slices = append(slices, slice)
+	}
+	group, err := cluster.NewGroup(env, cluster.DefaultConfig(), nodes...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	AttachGroup(inj, group)
+
+	rng := rand.New(rand.NewSource(seed))
+	values := make(map[string][]byte, nKeys)
+	keys := make([]string, nKeys)
+	boot := env.Go("preload", func(p *sim.Proc) {
+		for i := range keys {
+			keys[i] = fmt.Sprintf("k%03d", i)
+			val := make([]byte, valSize)
+			rng.Read(val)
+			if err := group.Put(p, keys[i], val, len(val)); err != nil {
+				panic(err)
+			}
+			values[keys[i]] = val
+		}
+		for _, s := range slices {
+			if err := s.Flush(p); err != nil {
+				panic(err)
+			}
+		}
+	})
+	env.RunUntilDone(boot)
+
+	pl := RandomPlan(seed, names, channels, horizon)
+	if err := pl.Validate(); err != nil {
+		return fmt.Errorf("seed %d: invalid plan: %v", seed, err)
+	}
+	t0 := env.Now()
+	if err := inj.Arm(pl); err != nil {
+		return fmt.Errorf("seed %d: %v", seed, err)
+	}
+
+	var violation error
+	var readers []*sim.Proc
+	for r := 0; r < 2; r++ {
+		krng := rand.New(rand.NewSource(seed ^ int64(r+1)))
+		readers = append(readers, env.Go("reader", func(p *sim.Proc) {
+			for env.Now() < t0+horizon && violation == nil {
+				key := keys[krng.Intn(len(keys))]
+				got, _, err := group.Get(p, key)
+				if err != nil {
+					violation = fmt.Errorf("seed %d: read %s at %v: %v (plan:\n%s)",
+						seed, key, env.Now()-t0, err, pl)
+					return
+				}
+				if !bytes.Equal(got, values[key]) {
+					violation = fmt.Errorf("seed %d: read %s at %v returned wrong bytes",
+						seed, key, env.Now()-t0)
+					return
+				}
+				p.Wait(time.Millisecond)
+			}
+		}))
+	}
+	// A writer keeps the divergence/repair machinery busy; its errors
+	// (puts rejected by a crashed node) are expected.
+	env.Go("writer", func(p *sim.Proc) {
+		for i := 0; env.Now() < t0+horizon; i++ {
+			group.Put(p, fmt.Sprintf("w%04d", i), nil, 8<<10)
+			p.Wait(20 * time.Millisecond)
+		}
+	})
+	join := env.Go("join", func(p *sim.Proc) {
+		for _, r := range readers {
+			p.Join(r)
+		}
+	})
+	env.RunUntilDone(join)
+	env.Run() // drain reverts, repairs, re-replication
+	if violation != nil {
+		return violation
+	}
+	if st := group.Stats(); st.Lost != 0 {
+		return fmt.Errorf("seed %d: %d lost reads (plan:\n%s)", seed, st.Lost, pl)
+	}
+	return nil
+}
+
+// TestChaosRandomPlansLoseNoReads is the randomized form of the
+// degraded-mode contract: for any RandomPlan seed, a replica group
+// with RF >= 2 serves every read correctly while the plan's channel
+// kills, hangs, ECC bursts, NIC brown-outs, and node crashes fire.
+// The generator is seeded, so failures reproduce exactly.
+func TestChaosRandomPlansLoseNoReads(t *testing.T) {
+	f := func(seed int64) bool {
+		if err := chaosRun(t, seed); err != nil {
+			t.Log(err)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 3,
+		Rand:     rand.New(rand.NewSource(11)),
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

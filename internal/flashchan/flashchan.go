@@ -33,6 +33,11 @@ var (
 	ErrOutOfSpace    = errors.New("flashchan: no healthy physical blocks left")
 	ErrUncorrectable = errors.New("flashchan: uncorrectable ECC error")
 	ErrBadAddress    = errors.New("flashchan: address out of range")
+	// ErrChannelDead is returned by every command while the channel
+	// engine is offline (injected fault or controller death). It is a
+	// fail-fast error: no virtual time is consumed, so upper layers can
+	// quarantine the channel and redirect traffic immediately.
+	ErrChannelDead = errors.New("flashchan: channel engine offline")
 )
 
 // Config describes one channel.
@@ -127,12 +132,14 @@ type Channel struct {
 	mu     *sim.PriorityResource // the engine serves one command at a time
 	code   *bch.Code
 	parity map[parityKey][][]byte
+	dead   bool // engine offline (injected fault); commands fail fast
 
 	bytesRead    int64
 	bytesWritten int64
 	blocksErased int64
 	eccCorrected int64
 	eccFailures  int64
+	deadRejects  int64 // commands refused while offline
 }
 
 type parityKey struct {
@@ -284,6 +291,88 @@ func (ch *Channel) ECCStats() (corrected, failures int64) {
 	return ch.eccCorrected, ch.eccFailures
 }
 
+// Fault-injection hooks. These are the channel-level failure modes a
+// fault plan can fire (DESIGN.md §9); all of them are deterministic
+// state flips executed at scheduled virtual instants.
+
+// Kill takes the channel engine offline: every subsequent command
+// returns ErrChannelDead without consuming virtual time, modelling a
+// dead channel controller or a severed flash bus.
+func (ch *Channel) Kill() { ch.dead = true }
+
+// Revive brings a killed channel back online. Mapped data survives
+// (the failure was in the engine, not the cells), so reads of blocks
+// written before the kill succeed again.
+func (ch *Channel) Revive() { ch.dead = false }
+
+// Alive reports whether the engine is serving commands.
+func (ch *Channel) Alive() bool { return !ch.dead }
+
+// DeadRejects returns how many commands were refused while offline.
+func (ch *Channel) DeadRejects() int64 { return ch.deadRejects }
+
+// Hang stalls the channel engine for d of virtual time: a process
+// seizes the engine at read priority (overtaking queued writes) and
+// holds it, so every command queued behind the hang waits it out.
+// Non-preemptive, like a firmware-level lockup that recovers.
+func (ch *Channel) Hang(d time.Duration) {
+	ch.env.Go("flashchan/hang", func(p *sim.Proc) {
+		t := ch.env.Tracer()
+		span := t.Begin(ch.env.Now(), 0, "chan/hang", trace.PhaseFault)
+		ch.mu.Acquire(p, ch.readPrio())
+		p.Wait(d)
+		ch.mu.Release()
+		t.End(ch.env.Now(), span)
+	})
+}
+
+// GrowBadBlocks retires up to n healthy blocks from the free pools,
+// round-robin across planes — grown defects appearing in the field.
+// It returns how many blocks were actually retired (bounded by the
+// free pool). Mapped blocks are untouched: grown defects surface on
+// the next erase cycle, not under live data.
+func (ch *Channel) GrowBadBlocks(n int) int {
+	marked := 0
+	for marked < n {
+		progressed := false
+		for i := range ch.planes {
+			if marked >= n {
+				break
+			}
+			ps := &ch.planes[i]
+			if ps.free.Len() == 0 {
+				continue
+			}
+			phys := heap.Pop(&ps.free).(int)
+			ps.plane.MarkBad(phys)
+			marked++
+			progressed = true
+		}
+		if !progressed {
+			break
+		}
+	}
+	return marked
+}
+
+// SetBERBoost injects an extra raw bit error rate on every chip of
+// the channel (an uncorrectable-ECC burst when pushed past the BCH
+// correction budget); 0 ends the burst.
+func (ch *Channel) SetBERBoost(ber float64) {
+	for _, chip := range ch.chips {
+		chip.SetBERBoost(ber)
+	}
+}
+
+// checkAlive fails fast while the engine is offline.
+func (ch *Channel) checkAlive() error {
+	if ch.dead {
+		ch.deadRejects++
+		return ErrChannelDead
+	}
+	return nil
+}
+
 // readPrio and writePrio order channel admission: with
 // PrioritizeReads, reads (0) overtake writes and erases (1).
 func (ch *Channel) readPrio() int { return 0 }
@@ -314,8 +403,14 @@ func (ch *Channel) Erase(p *sim.Proc, lbn int) error {
 	if err := ch.checkLBN(lbn); err != nil {
 		return err
 	}
+	if err := ch.checkAlive(); err != nil {
+		return err
+	}
 	ch.acquire(p, ch.writePrio())
 	defer ch.mu.Release()
+	if err := ch.checkAlive(); err != nil { // killed while queued
+		return err
+	}
 	return ch.eraseLocked(p, lbn)
 }
 
@@ -326,6 +421,14 @@ func (ch *Channel) eraseLocked(p *sim.Proc, lbn int) error {
 		if old, ok := ps.mapping[lbn]; ok {
 			heap.Push(&ps.free, old)
 			delete(ps.mapping, lbn)
+		}
+	}
+	// Spare-exhaustion precheck: a plane with an empty free pool can
+	// never complete this command, so fail before burning erase cycles
+	// (and endurance) on the planes that still have spares.
+	for i := range ch.planes {
+		if ch.planes[i].free.Len() == 0 {
+			return fmt.Errorf("%w: plane %d spare pool exhausted", ErrOutOfSpace, i)
 		}
 	}
 	// Group planes by chip; erase chips in parallel, planes within a
@@ -352,11 +455,28 @@ func (ch *Channel) eraseLocked(p *sim.Proc, lbn int) error {
 	}
 	for _, err := range errs {
 		if err != nil {
+			ch.unwindErase(lbn)
 			return err
 		}
 	}
 	ch.blocksErased++
 	return nil
+}
+
+// unwindErase reverts a partially completed erase command: planes
+// that already allocated and erased a block for lbn return it to the
+// free pool and the logical block ends fully unmapped. Without this,
+// a spare-exhaustion failure left a half-erased block whose next
+// write failed with a misleading ErrNotErased, and every retry burned
+// endurance re-erasing the healthy planes.
+func (ch *Channel) unwindErase(lbn int) {
+	for i := range ch.planes {
+		ps := &ch.planes[i]
+		if phys, ok := ps.mapping[lbn]; ok {
+			heap.Push(&ps.free, phys)
+			delete(ps.mapping, lbn)
+		}
+	}
 }
 
 // erasePlane allocates and erases one physical block on plane pi,
@@ -398,8 +518,14 @@ func (ch *Channel) Write(p *sim.Proc, lbn int, data []byte) error {
 	if data != nil && len(data) != ch.BlockSize() {
 		return fmt.Errorf("flashchan: write payload %d bytes, want %d", len(data), ch.BlockSize())
 	}
+	if err := ch.checkAlive(); err != nil {
+		return err
+	}
 	ch.acquire(p, ch.writePrio())
 	defer ch.mu.Release()
+	if err := ch.checkAlive(); err != nil { // killed while queued
+		return err
+	}
 	return ch.writeLocked(p, lbn, data)
 }
 
@@ -473,8 +599,14 @@ func (ch *Channel) EraseWrite(p *sim.Proc, lbn int, data []byte) error {
 	if err := ch.checkLBN(lbn); err != nil {
 		return err
 	}
+	if err := ch.checkAlive(); err != nil {
+		return err
+	}
 	ch.acquire(p, ch.writePrio())
 	defer ch.mu.Release()
+	if err := ch.checkAlive(); err != nil { // killed while queued
+		return err
+	}
 	if err := ch.eraseLocked(p, lbn); err != nil {
 		return err
 	}
@@ -497,8 +629,14 @@ func (ch *Channel) ReadAt(p *sim.Proc, lbn int, off, size int) ([]byte, error) {
 	if off+size > ch.BlockSize() {
 		return nil, fmt.Errorf("%w: off %d + size %d > block %d", ErrBadAddress, off, size, ch.BlockSize())
 	}
+	if err := ch.checkAlive(); err != nil {
+		return nil, err
+	}
 	ch.acquire(p, ch.readPrio())
 	defer ch.mu.Release()
+	if err := ch.checkAlive(); err != nil { // killed while queued
+		return nil, err
+	}
 
 	var out []byte
 	if ch.cfg.Nand.RetainData {

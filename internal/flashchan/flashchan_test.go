@@ -209,6 +209,154 @@ func TestBadBlockRetirement(t *testing.T) {
 	})
 }
 
+func TestSpareExhaustionTerminal(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Nand.EraseLimit = 4
+	run(t, cfg, func(env *sim.Env, ch *Channel, p *sim.Proc) {
+		// Drive the channel to full wear-out.
+		var err error
+		for i := 0; i < 40*cfg.Nand.BlocksPerPlane; i++ {
+			if err = ch.EraseWrite(p, i%4, nil); err != nil {
+				break
+			}
+		}
+		if !errors.Is(err, ErrOutOfSpace) {
+			t.Fatalf("wear-out error = %v, want ErrOutOfSpace", err)
+		}
+		// The exhaustion must be terminal for a fresh logical block:
+		// every retry reports ErrOutOfSpace immediately, without burning
+		// endurance on the planes that still hold spares and without
+		// consuming flash time on half-done erases.
+		fresh := ch.LogicalBlocks() - 1
+		before := ch.Wear()
+		start := env.Now()
+		for i := 0; i < 5; i++ {
+			if err := ch.EraseWrite(p, fresh, nil); !errors.Is(err, ErrOutOfSpace) {
+				t.Fatalf("retry %d: %v, want ErrOutOfSpace", i, err)
+			}
+		}
+		if elapsed := env.Now() - start; elapsed >= time.Millisecond {
+			t.Fatalf("exhausted retries took %v of flash time; want fail-fast", elapsed)
+		}
+		after := ch.Wear()
+		if after.TotalErase != before.TotalErase || after.BadBlocks != before.BadBlocks {
+			t.Fatalf("retries burned endurance: erases %d->%d, bad %d->%d",
+				before.TotalErase, after.TotalErase, before.BadBlocks, after.BadBlocks)
+		}
+		// A write to the unwound block must say "not erased", not panic
+		// or pretend a stripe exists.
+		if err := ch.Write(p, fresh, nil); !errors.Is(err, ErrNotErased) {
+			t.Fatalf("write after failed erase: %v, want ErrNotErased", err)
+		}
+	})
+}
+
+func TestKillRevive(t *testing.T) {
+	run(t, smallConfig(), func(env *sim.Env, ch *Channel, p *sim.Proc) {
+		data := make([]byte, ch.BlockSize())
+		rand.New(rand.NewSource(9)).Read(data)
+		if err := ch.EraseWrite(p, 2, data); err != nil {
+			t.Fatal(err)
+		}
+		ch.Kill()
+		if ch.Alive() {
+			t.Fatal("Alive after Kill")
+		}
+		start := env.Now()
+		if _, err := ch.ReadAt(p, 2, 0, ch.PageSize()); !errors.Is(err, ErrChannelDead) {
+			t.Fatalf("read on dead channel: %v, want ErrChannelDead", err)
+		}
+		if err := ch.EraseWrite(p, 3, nil); !errors.Is(err, ErrChannelDead) {
+			t.Fatalf("write on dead channel: %v, want ErrChannelDead", err)
+		}
+		if env.Now() != start {
+			t.Fatalf("dead-channel rejects consumed %v of virtual time", env.Now()-start)
+		}
+		if ch.DeadRejects() < 2 {
+			t.Fatalf("DeadRejects = %d, want >= 2", ch.DeadRejects())
+		}
+		ch.Revive()
+		got, err := ch.ReadAt(p, 2, 0, ch.PageSize())
+		if err != nil {
+			t.Fatalf("read after revive: %v", err)
+		}
+		if !bytes.Equal(got, data[:ch.PageSize()]) {
+			t.Fatal("data lost across kill/revive")
+		}
+	})
+}
+
+func TestHangStallsQueuedCommands(t *testing.T) {
+	cfg := timingConfig()
+	run(t, cfg, func(env *sim.Env, ch *Channel, p *sim.Proc) {
+		if err := ch.EraseWrite(p, 0, nil); err != nil {
+			t.Fatal(err)
+		}
+		const stall = 50 * time.Millisecond
+		ch.Hang(stall)
+		p.Wait(time.Millisecond) // let the hang seize the engine
+		start := env.Now()
+		if _, err := ch.ReadAt(p, 0, 0, ch.PageSize()); err != nil {
+			t.Fatal(err)
+		}
+		if waited := env.Now() - start; waited < stall-2*time.Millisecond {
+			t.Fatalf("read finished %v after hang; want >= ~%v", waited, stall)
+		}
+	})
+}
+
+func TestGrowBadBlocksRetiresSpares(t *testing.T) {
+	run(t, smallConfig(), func(env *sim.Env, ch *Channel, p *sim.Proc) {
+		if err := ch.EraseWrite(p, 0, nil); err != nil {
+			t.Fatal(err)
+		}
+		before := ch.Wear().BadBlocks
+		if n := ch.GrowBadBlocks(8); n != 8 {
+			t.Fatalf("GrowBadBlocks(8) = %d", n)
+		}
+		if got := ch.Wear().BadBlocks - before; got != 8 {
+			t.Fatalf("bad blocks grew by %d, want 8", got)
+		}
+		// Retire every remaining spare: the pool is finite, so the count
+		// must come back smaller than asked and the channel must report
+		// exhaustion for new blocks — while mapped data stays readable.
+		if n := ch.GrowBadBlocks(1 << 20); n >= 1<<20 {
+			t.Fatalf("GrowBadBlocks unbounded: %d", n)
+		}
+		if err := ch.EraseWrite(p, 5, nil); !errors.Is(err, ErrOutOfSpace) {
+			t.Fatalf("erase-write after total grown failure: %v, want ErrOutOfSpace", err)
+		}
+		if _, err := ch.ReadAt(p, 0, 0, ch.PageSize()); err != nil {
+			t.Fatalf("mapped data unreadable after grown defects: %v", err)
+		}
+	})
+}
+
+func TestBERBoostBurst(t *testing.T) {
+	cfg := smallConfig()
+	cfg.ECC = true
+	cfg.Nand.BaseBER = 0
+	run(t, cfg, func(env *sim.Env, ch *Channel, p *sim.Proc) {
+		data := make([]byte, ch.BlockSize())
+		rand.New(rand.NewSource(11)).Read(data)
+		if err := ch.EraseWrite(p, 1, data); err != nil {
+			t.Fatal(err)
+		}
+		ch.SetBERBoost(1e-2) // ~41 errors/sector: far beyond t=8
+		if _, err := ch.ReadAt(p, 1, 0, ch.PageSize()); !errors.Is(err, ErrUncorrectable) {
+			t.Fatalf("read during ECC burst: %v, want ErrUncorrectable", err)
+		}
+		ch.SetBERBoost(0)
+		got, err := ch.ReadAt(p, 1, 0, ch.PageSize())
+		if err != nil {
+			t.Fatalf("read after burst ends: %v", err)
+		}
+		if !bytes.Equal(got, data[:ch.PageSize()]) {
+			t.Fatal("data corrupted after transient ECC burst")
+		}
+	})
+}
+
 func TestECCRoundTripUnderErrors(t *testing.T) {
 	cfg := smallConfig()
 	cfg.ECC = true

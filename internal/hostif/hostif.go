@@ -32,6 +32,8 @@ type transferrer interface {
 	Transfer(p *sim.Proc, n int)
 	Rate() float64
 	Moved() int64
+	SetRateFactor(f float64)
+	RateFactor() float64
 }
 
 // PCIe11x8 returns a PCIe 1.1 x8 interface. The nominal rate is
@@ -72,6 +74,19 @@ func (i *Interface) ReadRate() float64 { return i.read.Rate() }
 
 // WriteRate returns the host-to-device data rate in bytes per second.
 func (i *Interface) WriteRate() float64 { return i.write.Rate() }
+
+// SetRateFactor scales both DMA directions by f (0 < f <= 1 degrades;
+// 1 restores full speed). Fault plans use it to model a PCIe card
+// renegotiating down to fewer lanes or a lower generation.
+func (i *Interface) SetRateFactor(f float64) {
+	i.read.SetRateFactor(f)
+	if i.write != i.read {
+		i.write.SetRateFactor(f)
+	}
+}
+
+// RateFactor returns the current degradation factor.
+func (i *Interface) RateFactor() float64 { return i.read.RateFactor() }
 
 // Moved returns total (toHost, toDevice) bytes.
 func (i *Interface) Moved() (toHost, toDevice int64) {

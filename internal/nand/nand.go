@@ -115,10 +115,11 @@ type Plane struct {
 
 // Chip is a NAND flash chip with Params.Planes independent planes.
 type Chip struct {
-	env    *sim.Env
-	params Params
-	planes []*Plane
-	rng    *rand.Rand
+	env      *sim.Env
+	params   Params
+	planes   []*Plane
+	rng      *rand.Rand
+	berBoost float64 // injected extra raw BER (uncorrectable-ECC bursts)
 
 	reads    int64
 	programs int64
@@ -171,6 +172,21 @@ func (c *Chip) sampleEndurance() int {
 
 // Params returns the chip's construction parameters.
 func (c *Chip) Params() Params { return c.params }
+
+// SetBERBoost adds an extra raw bit error rate on top of the wear
+// model, independent of RetainData. Fault plans use it to simulate an
+// uncorrectable-ECC burst (read-disturb storm, marginal cell
+// population); setting it back to 0 ends the burst. Requires data
+// mode for the errors to materialize in payloads.
+func (c *Chip) SetBERBoost(ber float64) {
+	if ber < 0 {
+		ber = 0
+	}
+	c.berBoost = ber
+}
+
+// BERBoost returns the currently injected extra raw BER.
+func (c *Chip) BERBoost() float64 { return c.berBoost }
 
 // Plane returns plane i.
 func (c *Chip) Plane(i int) *Plane { return c.planes[i] }
@@ -225,7 +241,7 @@ func (pl *Plane) ReadPage(p *sim.Proc, blockIdx, page int) ([]byte, error) {
 // rate growing quadratically in wear.
 func (pl *Plane) injectErrors(data []byte, wear int) {
 	pp := pl.chip.params
-	ber := pp.BaseBER
+	ber := pp.BaseBER + pl.chip.berBoost
 	if pp.WearBER > 0 && pp.EraseLimit > 0 {
 		frac := float64(wear) / float64(pp.EraseLimit)
 		ber += pp.WearBER * frac * frac

@@ -7,10 +7,17 @@
 package rpcnet
 
 import (
+	"errors"
+	"math/rand"
 	"time"
 
 	"sdf/internal/sim"
+	"sdf/internal/trace"
 )
+
+// ErrDeadlineExceeded is returned by Do when retries exhaust the
+// client's deadline budget.
+var ErrDeadlineExceeded = errors.New("rpcnet: deadline budget exhausted")
 
 // Config sets the link speeds and per-operation software costs.
 type Config struct {
@@ -27,6 +34,24 @@ type Config struct {
 	SubRequestCPU time.Duration
 	// ServerCPUs bounds concurrent sub-request processing.
 	ServerCPUs int
+
+	// LossRate is the probability that a request is dropped on the
+	// wire (fault injection). A dropped request burns RPCOverhead, the
+	// request transfer, and RequestTimeout at the client before Do
+	// retries it. 0 disables loss and performs no RNG draws, so
+	// loss-free runs are byte-identical to builds without this knob.
+	LossRate float64
+	// RequestTimeout is how long a client waits for a response before
+	// declaring the request lost.
+	RequestTimeout time.Duration
+	// RetryBackoff is the wait before the first retry; it doubles per
+	// attempt.
+	RetryBackoff time.Duration
+	// DeadlineBudget bounds the total virtual time Do spends on one
+	// logical request across retries; 0 retries without bound.
+	DeadlineBudget time.Duration
+	// Seed feeds the network's private RNG stream (loss draws).
+	Seed int64
 }
 
 // DefaultConfig matches the paper's testbed.
@@ -37,15 +62,24 @@ func DefaultConfig() Config {
 		RPCOverhead:     100 * time.Microsecond,
 		SubRequestCPU:   150 * time.Microsecond,
 		ServerCPUs:      16,
+		RequestTimeout:  10 * time.Millisecond,
+		RetryBackoff:    2 * time.Millisecond,
+		DeadlineBudget:  500 * time.Millisecond,
 	}
 }
 
 // Network is one storage server reachable by many clients.
 type Network struct {
-	env    *sim.Env
-	cfg    Config
-	server *sim.SharedLink
-	cpu    *sim.Resource
+	env      *sim.Env
+	cfg      Config
+	server   *sim.SharedLink
+	cpu      *sim.Resource
+	rng      *rand.Rand
+	lossRate float64
+
+	drops     int64
+	retries   int64
+	deadlines int64
 }
 
 // NewNetwork builds the server side on env.
@@ -56,12 +90,52 @@ func NewNetwork(env *sim.Env, cfg Config) *Network {
 	if cfg.ServerCPUs < 1 {
 		cfg.ServerCPUs = 1
 	}
-	return &Network{
-		env:    env,
-		cfg:    cfg,
-		server: sim.NewSharedLink(env, cfg.ServerBandwidth),
-		cpu:    sim.NewResource(env, cfg.ServerCPUs),
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 10 * time.Millisecond
 	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 2 * time.Millisecond
+	}
+	return &Network{
+		env:      env,
+		cfg:      cfg,
+		server:   sim.NewSharedLink(env, cfg.ServerBandwidth),
+		cpu:      sim.NewResource(env, cfg.ServerCPUs),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		lossRate: clampRate(cfg.LossRate),
+	}
+}
+
+// InjectLoss sets the wire loss probability (clamped to [0, 1]);
+// fault plans flip it on for a window and back to 0 to end it.
+func (n *Network) InjectLoss(rate float64) { n.lossRate = clampRate(rate) }
+
+// LossRate returns the current wire loss probability.
+func (n *Network) LossRate() float64 { return n.lossRate }
+
+// Stats returns (requests dropped, retries performed, deadline
+// budgets exhausted).
+func (n *Network) Stats() (drops, retries, deadlines int64) {
+	return n.drops, n.retries, n.deadlines
+}
+
+// dropRequest draws the loss lottery for one attempt. It performs no
+// RNG draw at rate 0, keeping loss-free traces bit-identical.
+func (n *Network) dropRequest() bool {
+	if n.lossRate <= 0 {
+		return false
+	}
+	return n.rng.Float64() < n.lossRate
+}
+
+func clampRate(r float64) float64 {
+	if r < 0 {
+		return 0
+	}
+	if r > 1 {
+		return 1
+	}
+	return r
 }
 
 // Client is one closed-loop requester with a dedicated NIC.
@@ -117,6 +191,44 @@ func (c *Client) Call(p *sim.Proc, reqBytes int, batch []SubRequest) int {
 		p.Join(w)
 	}
 	return respBytes
+}
+
+// Do performs one logical request with loss recovery: each attempt
+// that the wire drops burns RPCOverhead, the request transfer, and
+// RequestTimeout, then retries with exponential backoff while the
+// deadline budget lasts. With LossRate 0 it is exactly one Call.
+// It returns the total response bytes.
+func (c *Client) Do(p *sim.Proc, reqBytes int, batch []SubRequest) (int, error) {
+	n := c.net
+	var deadline time.Duration
+	if n.cfg.DeadlineBudget > 0 {
+		deadline = n.env.Now() + n.cfg.DeadlineBudget
+	}
+	backoff := n.cfg.RetryBackoff
+	for {
+		if !n.dropRequest() {
+			return c.Call(p, reqBytes, batch), nil
+		}
+		// The request vanished on the wire: the client pays for the
+		// send and waits the full timeout for a response that never
+		// comes.
+		n.drops++
+		t := n.env.Tracer()
+		span := t.Begin(n.env.Now(), p.Span(), "rpc/loss", trace.PhaseFault)
+		p.Wait(n.cfg.RPCOverhead)
+		if reqBytes > 0 {
+			c.nic.Transfer(p, reqBytes)
+		}
+		p.Wait(n.cfg.RequestTimeout)
+		t.End(n.env.Now(), span)
+		if deadline > 0 && n.env.Now()+backoff >= deadline {
+			n.deadlines++
+			return 0, ErrDeadlineExceeded
+		}
+		n.retries++
+		p.Wait(backoff)
+		backoff *= 2
+	}
 }
 
 // ServerLink exposes the server NIC pool for instrumentation.

@@ -1,6 +1,7 @@
 package rpcnet
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -100,6 +101,85 @@ func TestServerCPUBoundsSubRequests(t *testing.T) {
 	// 4 x 1 ms of CPU on 2 cores: 2 ms.
 	if elapsed != 2*time.Millisecond {
 		t.Fatalf("elapsed = %v, want 2ms", elapsed)
+	}
+}
+
+func TestDoWithoutLossIsOneCall(t *testing.T) {
+	env := sim.NewEnv()
+	n := NewNetwork(env, fastConfig())
+	c := n.NewClient()
+	w := env.Go("t", func(p *sim.Proc) {
+		start := env.Now()
+		got, err := c.Do(p, 0, []SubRequest{func(p *sim.Proc) int { return 1_250_000 }})
+		if err != nil || got != 1_250_000 {
+			t.Errorf("Do = %d/%v", got, err)
+		}
+		elapsed := env.Now() - start
+		if elapsed < 990*time.Microsecond || elapsed > 1100*time.Microsecond {
+			t.Errorf("loss-free Do took %v, want ~1ms (same as Call)", elapsed)
+		}
+	})
+	env.RunUntilDone(w)
+	env.Close()
+	if drops, retries, deadlines := n.Stats(); drops+retries+deadlines != 0 {
+		t.Fatalf("loss-free stats = %d/%d/%d, want all 0", drops, retries, deadlines)
+	}
+}
+
+func TestDoRetriesThroughLoss(t *testing.T) {
+	env := sim.NewEnv()
+	cfg := fastConfig()
+	cfg.LossRate = 0.5
+	cfg.Seed = 42
+	cfg.RequestTimeout = 5 * time.Millisecond
+	cfg.RetryBackoff = time.Millisecond
+	cfg.DeadlineBudget = time.Second
+	n := NewNetwork(env, cfg)
+	c := n.NewClient()
+	w := env.Go("t", func(p *sim.Proc) {
+		ok := 0
+		for i := 0; i < 20; i++ {
+			got, err := c.Do(p, 100, []SubRequest{func(p *sim.Proc) int { return 1000 }})
+			if err == nil && got == 1000 {
+				ok++
+			}
+		}
+		if ok < 15 {
+			t.Errorf("only %d/20 requests survived 50%% loss with retries", ok)
+		}
+	})
+	env.RunUntilDone(w)
+	env.Close()
+	drops, retries, _ := n.Stats()
+	if drops == 0 || retries == 0 {
+		t.Fatalf("stats drops=%d retries=%d, want both > 0 at 50%% loss", drops, retries)
+	}
+}
+
+func TestDoDeadlineBudget(t *testing.T) {
+	env := sim.NewEnv()
+	cfg := fastConfig()
+	cfg.LossRate = 1 // nothing gets through
+	cfg.Seed = 7
+	cfg.RequestTimeout = 5 * time.Millisecond
+	cfg.RetryBackoff = time.Millisecond
+	cfg.DeadlineBudget = 30 * time.Millisecond
+	n := NewNetwork(env, cfg)
+	c := n.NewClient()
+	w := env.Go("t", func(p *sim.Proc) {
+		start := env.Now()
+		_, err := c.Do(p, 0, nil)
+		if !errors.Is(err, ErrDeadlineExceeded) {
+			t.Errorf("Do under total loss: %v, want ErrDeadlineExceeded", err)
+		}
+		if elapsed := env.Now() - start; elapsed > cfg.DeadlineBudget+cfg.RequestTimeout {
+			t.Errorf("Do gave up after %v, budget was %v", elapsed, cfg.DeadlineBudget)
+		}
+	})
+	env.RunUntilDone(w)
+	env.Close()
+	if _, _, deadlines := n.Stats(); deadlines != 1 {
+		t.Fatalf("deadlines = %d, want 1", deadlines)
 	}
 }
 

@@ -24,6 +24,7 @@ type Link struct {
 	name     string
 	res      *Resource
 	rate     float64 // bytes per second
+	factor   float64 // degradation multiplier (1 = healthy)
 	overhead time.Duration
 	moved    int64
 }
@@ -32,11 +33,25 @@ type Link struct {
 // per second and a fixed per-transfer overhead (command/address cycles,
 // protocol framing).
 func NewLink(env *Env, bytesPerSec float64, overhead time.Duration) *Link {
-	return &Link{env: env, res: NewResource(env, 1), rate: bytesPerSec, overhead: overhead}
+	return &Link{env: env, res: NewResource(env, 1), rate: bytesPerSec, factor: 1, overhead: overhead}
 }
 
 // SetName labels the link in trace output.
 func (l *Link) SetName(name string) { l.name = name }
+
+// SetRateFactor scales the link's effective data rate by f (0 < f <= 1
+// degrades, 1 restores). Fault injection uses it to model a slow bus
+// or a flapping interconnect; transfers already on the wire are not
+// re-timed, only subsequent ones.
+func (l *Link) SetRateFactor(f float64) {
+	if f <= 0 {
+		panic("sim: link rate factor must be positive")
+	}
+	l.factor = f
+}
+
+// RateFactor returns the current degradation multiplier.
+func (l *Link) RateFactor() float64 { return l.factor }
 
 // Transfer moves n bytes across the link, blocking for queueing plus
 // transmission time.
@@ -46,7 +61,7 @@ func (l *Link) Transfer(p *Proc, n int) {
 		l.env.tracer.Emit(l.env.Now(), trace.KindXferBegin, 0, 0, l.name, "", int64(n))
 	}
 	l.res.Acquire(p)
-	p.Wait(l.overhead + ByteTime(n, l.rate))
+	p.Wait(l.overhead + ByteTime(n, l.rate*l.factor))
 	l.res.Release()
 	l.moved += int64(n)
 	if full {
@@ -71,6 +86,7 @@ type SharedLink struct {
 	env    *Env
 	name   string
 	rate   float64 // bytes per second
+	factor float64 // degradation multiplier (1 = healthy)
 	active []*xfer
 	last   int64  // virtual time of last progress update
 	gen    uint64 // invalidates stale completion events
@@ -88,8 +104,24 @@ func NewSharedLink(env *Env, bytesPerSec float64) *SharedLink {
 	if bytesPerSec <= 0 {
 		panic("sim: shared link rate must be positive")
 	}
-	return &SharedLink{env: env, rate: bytesPerSec}
+	return &SharedLink{env: env, rate: bytesPerSec, factor: 1}
 }
+
+// SetRateFactor scales the link's effective aggregate rate by f
+// (0 < f <= 1 degrades, 1 restores). In-flight transfers keep the
+// progress they have made and continue at the new rate — the model of
+// a NIC or PCIe lane dropping to a degraded speed mid-stream.
+func (l *SharedLink) SetRateFactor(f float64) {
+	if f <= 0 {
+		panic("sim: shared link rate factor must be positive")
+	}
+	l.advance()
+	l.factor = f
+	l.reschedule()
+}
+
+// RateFactor returns the current degradation multiplier.
+func (l *SharedLink) RateFactor() float64 { return l.factor }
 
 // Rate returns the aggregate link rate in bytes per second.
 func (l *SharedLink) Rate() float64 { return l.rate }
@@ -135,7 +167,7 @@ func (l *SharedLink) advance() {
 	if len(l.active) == 0 {
 		return
 	}
-	each := elapsed * l.rate / float64(len(l.active))
+	each := elapsed * l.rate * l.factor / float64(len(l.active))
 	for _, x := range l.active {
 		x.remaining -= each
 		if x.remaining < 0 {
@@ -157,7 +189,7 @@ func (l *SharedLink) reschedule() {
 			minRem = x.remaining
 		}
 	}
-	share := l.rate / float64(len(l.active))
+	share := l.rate * l.factor / float64(len(l.active))
 	eta := time.Duration(minRem / share * float64(time.Second))
 	// Round up one nanosecond so the completion check sees zero
 	// remaining despite floating-point truncation.

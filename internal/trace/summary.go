@@ -32,6 +32,7 @@ var phaseRank = map[string]int{
 	PhaseQueue:    2,
 	PhaseBus:      3,
 	PhaseFlash:    4,
+	PhaseFault:    5,
 }
 
 // Summarize pairs span begin/end events and aggregates their

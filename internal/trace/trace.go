@@ -93,6 +93,12 @@ const (
 	PhaseBus = "bus"
 	// PhaseFlash is NAND array time (read, program, erase).
 	PhaseFlash = "flash"
+	// PhaseFault is degraded-mode time: injected failures, retry
+	// backoffs, quarantine windows, hedged-read waits. Spans in this
+	// phase let Summarize and the Perfetto export show where an
+	// availability run lost time to faults rather than to the normal
+	// pipeline.
+	PhaseFault = "fault"
 )
 
 // SpanID identifies a span; 0 means "no span" (used as the parent of
