@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint trace-smoke chaos-smoke check
+.PHONY: all build vet test race lint trace-smoke chaos-smoke bench-smoke check
 
 all: check
 
@@ -46,7 +46,17 @@ chaos-smoke:
 	$(GO) run ./cmd/sdfbench -quick -json -trace chaos-b.json faults
 	cmp chaos-a.json chaos-b.json
 	cmp chaos-a.jsonl chaos-b.jsonl
-	cmp BENCH_faults_a.json BENCH_faults.json
+	$(GO) run ./cmd/sdfctl bench diff BENCH_faults_a.json BENCH_faults.json
 	rm -f chaos-b.json chaos-b.jsonl BENCH_faults_a.json
+
+# bench-smoke regenerates the Figure 7 benchmark JSON in quick mode
+# and diffs its determinism-sensitive fields (tables, metrics) against
+# the committed baseline in bench/baseline/ — catching silent drift of
+# the paper numbers while letting the recorded wall-clock/events-per-
+# second perf trajectory move freely. CI uploads the fresh JSON as an
+# artifact, so the perf history is one download per commit.
+bench-smoke:
+	$(GO) run ./cmd/sdfbench -quick -json figure7
+	$(GO) run ./cmd/sdfctl bench diff bench/baseline/BENCH_figure7.json BENCH_figure7.json
 
 check: build vet race lint

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	sdfbench [-quick] [-list] [-json] [-trace out.json] [experiment ...]
+//	sdfbench [-quick] [-list] [-json] [-parallel N] [-trace out.json] [experiment ...]
 //
 // With no arguments every experiment runs in order. Experiment names
 // are case-insensitive: table1, figure1, table4, figure7, figure8,
@@ -12,12 +12,22 @@
 // and the ablations (stripe, buffer, erasesched, sdfop, interrupts,
 // parity, staticwl).
 //
+// -parallel N runs up to N experiments concurrently. Experiments
+// share no simulation state, so the tables are byte-identical to a
+// sequential run; they are printed in registry order either way, and
+// per-run wall-clock lines go to stderr so stdout stays deterministic.
+//
 // -json writes one BENCH_<experiment>.json per experiment with the raw
-// measured metrics next to the formatted rows. -trace collects
-// virtual-time trace events from the experiments that support tracing
-// (figure8) and writes a Chrome trace-event file to the given path plus
-// a canonical JSONL stream alongside it; both are deterministic, so two
-// runs of the same experiment produce byte-identical files.
+// measured metrics next to the formatted rows, plus a "perf" block
+// (wall seconds, kernel events, events/sec) recording the host cost of
+// the run. -trace collects virtual-time trace events from the
+// experiments that support tracing (figure8) and writes a Chrome
+// trace-event file to the given path plus a canonical JSONL stream
+// alongside it; both are deterministic, so two runs of the same
+// experiment produce byte-identical files.
+//
+// -cpuprofile/-memprofile write pprof profiles of the harness itself,
+// for finding simulator hot spots (see README "Performance").
 package main
 
 import (
@@ -25,58 +35,31 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
-	"time"
 
 	"sdf/internal/experiments"
 	"sdf/internal/fault"
 	"sdf/internal/trace"
 )
 
-type entry struct {
-	name string
-	desc string
-	run  func(experiments.Options) experiments.Table
-}
-
-var registry = []entry{
-	{"table1", "commodity SSD raw vs measured bandwidth", experiments.Table1},
-	{"figure1", "random-write throughput vs over-provisioning", experiments.Figure1},
-	{"table4", "device throughput by request size", experiments.Table4},
-	{"figure7", "SDF channel scaling", experiments.Figure7},
-	{"figure8", "write latency traces", experiments.Figure8},
-	{"figure10", "one slice, batched 512 KB reads", experiments.Figure10},
-	{"figure11", "4/8 slices, batched 512 KB reads", experiments.Figure11},
-	{"figure12", "request size x slice count at batch 44", experiments.Figure12},
-	{"figure13", "sequential scan vs slice count", experiments.Figure13},
-	{"figure14", "write + compaction throughput", experiments.Figure14},
-	{"stack", "kernel vs user-space I/O path cost", experiments.SoftwareStack},
-	{"erase", "SDF aggregate erase throughput", experiments.EraseThroughput},
-	{"stripe", "ablation: striping unit", experiments.AblationStripeUnit},
-	{"buffer", "ablation: DRAM write buffer", experiments.AblationWriteBuffer},
-	{"erasesched", "ablation: erase scheduling", experiments.AblationEraseScheduling},
-	{"sdfop", "ablation: over-provisioning on SDF", experiments.AblationSDFOverProvision},
-	{"interrupts", "ablation: interrupt merging", experiments.AblationInterruptMerging},
-	{"parity", "ablation: parity channels", experiments.AblationParity},
-	{"staticwl", "ablation: static wear leveling", experiments.AblationStaticWL},
-	{"readprio", "future work: reads over writes/erases", experiments.FutureWorkReadPriority},
-	{"placement", "future work: load-balanced write placement", experiments.FutureWorkPlacement},
-	{"activescan", "future work: in-storage filtered scan", experiments.FutureWorkActiveScan},
-	{"faults", "availability under injected faults", experiments.Faults},
-}
-
 func main() {
 	quick := flag.Bool("quick", false, "shorter measurement windows")
 	list := flag.Bool("list", false, "list experiments and exit")
 	jsonOut := flag.Bool("json", false, "write BENCH_<experiment>.json per experiment")
+	parallel := flag.Int("parallel", 1, "run up to N experiments concurrently")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this path on exit")
 	tracePath := flag.String("trace", "", "write a Chrome trace to this path (and JSONL alongside)")
 	traceFull := flag.Bool("trace-full", false, "with -trace, also record kernel events (spawn/park/acquire/xfer)")
 	faultsPath := flag.String("faults", "", "fault plan JSON for the faults experiment (default: built-in plan)")
 	flag.Parse()
 
+	registry := experiments.Registry()
 	if *list {
 		for _, e := range registry {
-			fmt.Printf("%-12s %s\n", e.name, e.desc)
+			fmt.Printf("%-12s %s\n", e.Name, e.Desc)
 		}
 		return
 	}
@@ -90,6 +73,10 @@ func main() {
 		opts.FaultPlan = pl
 	}
 	if *tracePath != "" {
+		if *parallel > 1 {
+			fmt.Fprintln(os.Stderr, "sdfbench: -trace needs a sequential run (the collector is shared); drop -parallel")
+			os.Exit(2)
+		}
 		opts.Tracer = trace.NewCollector()
 		if *traceFull {
 			opts.Tracer.SetLevel(trace.LevelFull)
@@ -101,27 +88,36 @@ func main() {
 	if len(want) > 0 {
 		selected = nil
 		for _, name := range want {
-			found := false
-			for _, e := range registry {
-				if strings.EqualFold(e.name, name) {
-					selected = append(selected, e)
-					found = true
-					break
-				}
-			}
-			if !found {
+			e, ok := experiments.Lookup(name)
+			if !ok {
 				fmt.Fprintf(os.Stderr, "sdfbench: unknown experiment %q (try -list)\n", name)
 				os.Exit(2)
 			}
+			selected = append(selected, e)
 		}
 	}
-	for _, e := range selected {
-		start := time.Now()
-		tab := e.run(opts)
-		fmt.Print(tab.String())
-		fmt.Printf("(%s in %.1fs wall)\n\n", e.name, time.Since(start).Seconds())
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdfbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "sdfbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	results := experiments.RunAll(selected, opts, *parallel)
+	for _, r := range results {
+		fmt.Print(r.Table.String())
+		fmt.Print("\n")
+		fmt.Fprintf(os.Stderr, "(%s in %.1fs wall, %d events, %.2gM events/sec)\n",
+			r.Name, r.Wall.Seconds(), r.Events, r.EventsPerSec()/1e6)
 		if *jsonOut {
-			if err := writeBenchJSON(e.name, tab, opts.Quick); err != nil {
+			if err := writeBenchJSON(r, opts.Quick); err != nil {
 				fmt.Fprintf(os.Stderr, "sdfbench: %v\n", err)
 				os.Exit(1)
 			}
@@ -133,9 +129,25 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdfbench: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "sdfbench: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
 }
 
-// benchDoc is the machine-readable result schema for -json.
+// benchDoc is the machine-readable result schema for -json. Every
+// field except Perf is determinism-sensitive: two runs of the same
+// binary must produce identical values (sdfctl bench diff checks
+// exactly that). Perf records the host cost and varies run to run.
 type benchDoc struct {
 	Experiment string             `json:"experiment"`
 	ID         string             `json:"id"`
@@ -145,13 +157,25 @@ type benchDoc struct {
 	Rows       [][]string         `json:"rows"`
 	Notes      []string           `json:"notes,omitempty"`
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	Perf       *perfDoc           `json:"perf,omitempty"`
+}
+
+// perfDoc is the wall-clock record that starts the perf trajectory:
+// how fast the simulator itself ran this experiment.
+type perfDoc struct {
+	WallSeconds  float64 `json:"wall_seconds"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Envs         int     `json:"envs"`
 }
 
 // writeBenchJSON writes BENCH_<name>.json into the current directory.
-// encoding/json sorts map keys, so the output is deterministic.
-func writeBenchJSON(name string, tab experiments.Table, quick bool) error {
+// encoding/json sorts map keys, so the output is deterministic apart
+// from the perf block.
+func writeBenchJSON(r experiments.Result, quick bool) error {
+	tab := r.Table
 	doc := benchDoc{
-		Experiment: name,
+		Experiment: r.Name,
 		ID:         tab.ID,
 		Title:      tab.Title,
 		Quick:      quick,
@@ -159,16 +183,22 @@ func writeBenchJSON(name string, tab experiments.Table, quick bool) error {
 		Rows:       tab.Rows,
 		Notes:      tab.Notes,
 		Metrics:    tab.Metrics,
+		Perf: &perfDoc{
+			WallSeconds:  r.Wall.Seconds(),
+			Events:       r.Events,
+			EventsPerSec: r.EventsPerSec(),
+			Envs:         r.Envs,
+		},
 	}
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
 	}
-	path := fmt.Sprintf("BENCH_%s.json", name)
+	path := fmt.Sprintf("BENCH_%s.json", r.Name)
 	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d metrics)\n\n", path, len(tab.Metrics))
+	fmt.Fprintf(os.Stderr, "wrote %s (%d metrics)\n", path, len(tab.Metrics))
 	return nil
 }
 
@@ -202,7 +232,7 @@ func writeTraces(chromePath string, c *trace.Collector) error {
 	if err := jsonl.Close(); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s and %s (%d events, sha256 %s)\n",
+	fmt.Fprintf(os.Stderr, "wrote %s and %s (%d events, sha256 %s)\n",
 		chromePath, jsonlPath, c.Len(), c.Hash()[:12])
 	return nil
 }

@@ -17,6 +17,11 @@
 //	          the per-stage latency breakdown (count/mean/p50/p99 per
 //	          phase per device)
 //
+//	bench diff <a.json> <b.json>
+//	          compare two BENCH_<experiment>.json files on their
+//	          determinism-sensitive fields, ignoring the "perf" block
+//	          (host wall-clock, events/sec); exit 1 on any difference
+//
 //	faults [plan.json]
 //	          validate a fault plan and print its schedule; with no
 //	          argument, print the availability experiment's built-in
@@ -24,10 +29,13 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"time"
 
 	"sdf/internal/core"
@@ -45,7 +53,7 @@ func main() {
 	blocks := flag.Int("blocks", 16, "erase blocks per plane (scaled geometry)")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: sdfctl [-channels N] [-blocks N] info|exercise|wear|stack|trace|faults")
+		fmt.Fprintln(os.Stderr, "usage: sdfctl [-channels N] [-blocks N] info|exercise|wear|stack|trace|bench|faults")
 		os.Exit(2)
 	}
 
@@ -64,6 +72,12 @@ func main() {
 			os.Exit(2)
 		}
 		traceSummarize(flag.Arg(2))
+	case "bench":
+		if flag.NArg() != 4 || flag.Arg(1) != "diff" {
+			fmt.Fprintln(os.Stderr, "usage: sdfctl bench diff <a.json> <b.json>")
+			os.Exit(2)
+		}
+		benchDiff(flag.Arg(2), flag.Arg(3))
 	case "faults":
 		if flag.NArg() > 2 {
 			fmt.Fprintln(os.Stderr, "usage: sdfctl faults [plan.json]")
@@ -78,6 +92,57 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sdfctl: unknown command %q\n", flag.Arg(0))
 		os.Exit(2)
 	}
+}
+
+// benchDiff compares two BENCH_<experiment>.json files on their
+// determinism-sensitive fields — everything except the "perf" block,
+// which records the host wall-clock of the run and legitimately
+// varies. Matching files exit 0; any other difference lists the
+// offending fields and exits 1. CI's bench-smoke and chaos-smoke use
+// it to assert that reruns and parallel runs reproduce the same
+// numbers while still letting the recorded events/sec move.
+func benchDiff(pathA, pathB string) {
+	a := loadBenchFields(pathA)
+	b := loadBenchFields(pathB)
+	delete(a, "perf")
+	delete(b, "perf")
+	keys := make(map[string]bool)
+	for k := range a {
+		keys[k] = true
+	}
+	for k := range b {
+		keys[k] = true
+	}
+	var diffs []string
+	for k := range keys {
+		// json.Marshal sorts map keys, so equal values marshal equal.
+		ja, _ := json.Marshal(a[k])
+		jb, _ := json.Marshal(b[k])
+		if !bytes.Equal(ja, jb) {
+			diffs = append(diffs, k)
+		}
+	}
+	if len(diffs) == 0 {
+		fmt.Printf("%s and %s match on all determinism-sensitive fields\n", pathA, pathB)
+		return
+	}
+	sort.Strings(diffs)
+	for _, k := range diffs {
+		fmt.Fprintf(os.Stderr, "sdfctl: field %q differs between %s and %s\n", k, pathA, pathB)
+	}
+	os.Exit(1)
+}
+
+func loadBenchFields(path string) map[string]any {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	return doc
 }
 
 // traceSummarize reads a canonical JSONL trace and prints the

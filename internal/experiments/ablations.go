@@ -53,7 +53,7 @@ func AblationWriteBuffer(opts Options) Table {
 	for _, buf := range []int64{0, 64 << 20} {
 		prof := ssd.HuaweiGen3(0.10).ScaleBlocks(16)
 		prof.BufferBytes = buf
-		env := sim.NewEnv()
+		env := opts.newEnv()
 		dev := newSSD(env, prof)
 		if err := dev.WarmFillRandom(1.0, 6); err != nil {
 			panic(err)
@@ -102,7 +102,7 @@ func AblationEraseScheduling(opts Options) Table {
 		n = 30
 	}
 	for _, background := range []bool{true, false} {
-		env := sim.NewEnv()
+		env := opts.newEnv()
 		dev := newSDF(env, 16)
 		cfg := blocklayer.DefaultConfig()
 		cfg.BackgroundErase = background
@@ -153,7 +153,7 @@ func AblationSDFOverProvision(opts Options) Table {
 		Notes:  []string{"no GC means no dependence on reserve space; contrast with Figure 1"},
 	}
 	for _, reserve := range []float64{0, 0.25, 0.50} {
-		env := sim.NewEnv()
+		env := opts.newEnv()
 		dev := newSDF(env, 32)
 		usable := int(float64(dev.BlocksPerChannel()) * (1 - reserve))
 		if usable < 1 {
@@ -198,7 +198,7 @@ func AblationInterruptMerging(opts Options) Table {
 		cfg.Channel.SparePerPlane = 2
 		cfg.Stack.InterruptMerge = merge
 		cfg.Stack.CPUs = 1
-		env := sim.NewEnv()
+		env := opts.newEnv()
 		dev, err := core.New(env, cfg)
 		if err != nil {
 			panic(err)
@@ -252,7 +252,7 @@ func AblationParity(opts Options) Table {
 		prof := ssd.HuaweiGen3(0.25).ScaleBlocks(16)
 		prof.ParityRatio = ratio
 		prof.BufferBytes = 64 << 20
-		env := sim.NewEnv()
+		env := opts.newEnv()
 		dev := newSSD(env, prof)
 		capacity := dev.Capacity()
 		env.Close()
@@ -290,7 +290,7 @@ func AblationStaticWL(opts Options) Table {
 		prof.BufferBytes = 0
 		prof.StaticWL = enabled
 		prof.StaticWLSpread = 2
-		env := sim.NewEnv()
+		env := opts.newEnv()
 		dev := newSSD(env, prof)
 		if err := dev.WarmFillRandom(1.0, 6); err != nil {
 			panic(err)

@@ -25,7 +25,7 @@ func FutureWorkActiveScan(opts Options) Table {
 	}
 	const selectivity = 0.05
 	for _, inStorage := range []bool{false, true} {
-		env := sim.NewEnv()
+		env := opts.newEnv()
 		dev := newSDF(env, 16)
 		warmup := opts.scale(time.Second)
 		deadline := opts.scale(4 * time.Second)

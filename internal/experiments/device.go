@@ -14,7 +14,7 @@ import (
 // with 2 MB requests from k concurrent workers (the paper reads and
 // writes "sequentially in erase-block units" through a deep queue).
 func seqBandwidth(opts Options, prof ssd.Profile, write bool, k int) float64 {
-	env := sim.NewEnv()
+	env := opts.newEnv()
 	defer env.Close()
 	dev := newSSD(env, prof)
 	if !write {
@@ -105,7 +105,7 @@ func Figure1(opts Options) Table {
 	for _, opPct := range []int{1, 7, 25, 50} {
 		prof := ssd.Intel320(float64(opPct) / 100).ScaleBlocks(64)
 		prof.BufferBytes = 0
-		env := sim.NewEnv()
+		env := opts.newEnv()
 		dev := newSSD(env, prof)
 		if err := dev.WarmFillRandom(1.0, 42); err != nil {
 			panic(err)
@@ -141,7 +141,7 @@ func Figure1(opts Options) Table {
 // software cost of the conventional kernel I/O path versus SDF's
 // user-space IOCTL path.
 func SoftwareStack(opts Options) Table {
-	env := sim.NewEnv()
+	env := opts.newEnv()
 	defer env.Close()
 	kernel := hostif.NewStack(env, hostif.KernelStack())
 	bypass := hostif.NewStack(env, hostif.BypassStack())
@@ -166,7 +166,7 @@ func SoftwareStack(opts Options) Table {
 // EraseThroughput regenerates the §3.2 aside: the aggregate rate at
 // which the 44 exposed channels can erase.
 func EraseThroughput(opts Options) Table {
-	env := sim.NewEnv()
+	env := opts.newEnv()
 	dev := newSDF(env, 64)
 	deadline := opts.scale(2 * time.Second)
 	m := newMeterCtx(env, 0, deadline)

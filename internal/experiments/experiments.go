@@ -33,6 +33,18 @@ type Options struct {
 	// FaultPlan overrides the availability experiment's default fault
 	// schedule (sdfbench -faults plan.json).
 	FaultPlan *fault.Plan
+	// Stats, when non-nil, collects kernel counters from every sim.Env
+	// the experiment creates; RunAll sets it to report events/sec.
+	Stats *KernelStats
+}
+
+// newEnv creates a simulation environment and registers it with the
+// harness's kernel-stats collector. Experiment code must use this
+// instead of sim.NewEnv so event counts are attributed to the run.
+func (o Options) newEnv() *sim.Env {
+	env := sim.NewEnv()
+	o.Stats.track(env)
+	return env
 }
 
 // scale returns d, halved in quick mode.

@@ -72,7 +72,7 @@ func nodeOnly(pl *fault.Plan) *fault.Plan {
 // closed-loop readers and a writer run for the horizon while the
 // injector fires, then async repairs drain and the meters settle.
 func availabilityRun(opts Options, kind deviceKind, pl *fault.Plan) availResult {
-	env := sim.NewEnv()
+	env := opts.newEnv()
 	if opts.Tracer != nil {
 		opts.Tracer.SetDev("faults/" + map[deviceKind]string{devSDF: "sdf", devGen3: "gen3"}[kind])
 		env.SetTracer(opts.Tracer)

@@ -32,7 +32,7 @@ func FutureWorkReadPriority(opts Options) Table {
 		cfg.Channel.Nand.BlocksPerPlane = 16
 		cfg.Channel.SparePerPlane = 2
 		cfg.Channel.PrioritizeReads = prioritize
-		env := sim.NewEnv()
+		env := opts.newEnv()
 		dev, err := core.New(env, cfg)
 		if err != nil {
 			panic(err)
@@ -101,7 +101,7 @@ func FutureWorkPlacement(opts Options) Table {
 		Header: []string{"Placement", "Write throughput", "Busy channels (expected)"},
 	}
 	for _, policy := range []blocklayer.Placement{blocklayer.PlacementHash, blocklayer.PlacementLeastLoaded} {
-		env := sim.NewEnv()
+		env := opts.newEnv()
 		dev := newSDF(env, 16)
 		lcfg := blocklayer.DefaultConfig()
 		lcfg.Placement = policy

@@ -111,7 +111,7 @@ func (n *kvNode) counters() (read, written int64) {
 // slice issues synchronous requests of `batch` sub-reads of valueSize
 // values (§3.3.1, Figures 10-12).
 func kvReadRate(opts Options, kind deviceKind, nSlices, batch, valueSize int) float64 {
-	env := sim.NewEnv()
+	env := opts.newEnv()
 	// Every slice's key range spans all 44 channels, as it would after
 	// any real accumulation of data (consecutive patch IDs go to
 	// consecutive channels).
@@ -245,7 +245,7 @@ func Figure13(opts Options) Table {
 // scanRate runs one full scan of every slice concurrently and returns
 // total bytes / completion time.
 func scanRate(opts Options, kind deviceKind, nSlices, patchesPerSlice int) float64 {
-	env := sim.NewEnv()
+	env := opts.newEnv()
 	node := newKVNode(env, kind, nSlices, patchesPerSlice, 512<<10, 1<<20)
 	start := env.Now()
 	var total int64
@@ -301,7 +301,7 @@ func Figure14(opts Options) Table {
 // writeCompactionRates measures device-level write and read rates
 // while writer clients stream Puts through CCDB.
 func writeCompactionRates(opts Options, kind deviceKind, nSlices int) (write, read float64) {
-	env := sim.NewEnv()
+	env := opts.newEnv()
 	// Empty slices, but a device sized for several seconds of write
 	// churn plus compaction outputs (~16 GB).
 	node := newKVNode(env, kind, nSlices, 2000/nSlices, 0, 0)

@@ -14,7 +14,7 @@ import (
 // per channel (the paper's 44-thread microbenchmark, §3.2): random
 // reads of reqSize, or 8 MB erase+writes when reqSize == 0.
 func sdfThroughput(opts Options, reqSize int) float64 {
-	env := sim.NewEnv()
+	env := opts.newEnv()
 	dev := newSDF(env, 32)
 	warmup := opts.scale(500 * time.Millisecond)
 	deadline := opts.scale(2 * time.Second)
@@ -62,7 +62,7 @@ func sdfThroughput(opts Options, reqSize int) float64 {
 // (standing in for one deep-queue AIO thread): random reads of
 // reqSize, or 8 MB writes when reqSize == 0.
 func ssdThroughput(opts Options, prof ssd.Profile, reqSize, k int) float64 {
-	env := sim.NewEnv()
+	env := opts.newEnv()
 	dev := newSSD(env, prof)
 	write := reqSize == 0
 	if write {
@@ -168,7 +168,7 @@ func Figure7(opts Options) Table {
 }
 
 func figure7Point(opts Options, channels int, write bool) float64 {
-	env := sim.NewEnv()
+	env := opts.newEnv()
 	dev := newSDF(env, 16)
 	warmup := opts.scale(500 * time.Millisecond)
 	deadline := opts.scale(3 * time.Second)
@@ -224,7 +224,7 @@ func Figure8(opts Options) Table {
 	gen3 := func(devLabel string, reqBytes int64, count int) metrics.Series {
 		prof := ssd.HuaweiGen3(0.10).ScaleBlocks(16)
 		prof.BufferBytes = 64 << 20
-		env := sim.NewEnv()
+		env := opts.newEnv()
 		opts.Tracer.SetDev(devLabel)
 		env.SetTracer(opts.Tracer)
 		dev := newSSD(env, prof)
@@ -250,7 +250,7 @@ func Figure8(opts Options) Table {
 	}
 
 	sdfSeries := func(count int) metrics.Series {
-		env := sim.NewEnv()
+		env := opts.newEnv()
 		opts.Tracer.SetDev("sdf")
 		env.SetTracer(opts.Tracer)
 		dev := newSDF(env, 16)

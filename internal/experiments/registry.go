@@ -1,0 +1,51 @@
+package experiments
+
+import "strings"
+
+// Entry is one runnable experiment of the suite.
+type Entry struct {
+	Name string
+	Desc string
+	Run  func(Options) Table
+}
+
+// Registry returns the full experiment suite in canonical order — the
+// order sdfbench runs and prints them. Harnesses must treat the
+// returned slice as read-only.
+func Registry() []Entry {
+	return []Entry{
+		{"table1", "commodity SSD raw vs measured bandwidth", Table1},
+		{"figure1", "random-write throughput vs over-provisioning", Figure1},
+		{"table4", "device throughput by request size", Table4},
+		{"figure7", "SDF channel scaling", Figure7},
+		{"figure8", "write latency traces", Figure8},
+		{"figure10", "one slice, batched 512 KB reads", Figure10},
+		{"figure11", "4/8 slices, batched 512 KB reads", Figure11},
+		{"figure12", "request size x slice count at batch 44", Figure12},
+		{"figure13", "sequential scan vs slice count", Figure13},
+		{"figure14", "write + compaction throughput", Figure14},
+		{"stack", "kernel vs user-space I/O path cost", SoftwareStack},
+		{"erase", "SDF aggregate erase throughput", EraseThroughput},
+		{"stripe", "ablation: striping unit", AblationStripeUnit},
+		{"buffer", "ablation: DRAM write buffer", AblationWriteBuffer},
+		{"erasesched", "ablation: erase scheduling", AblationEraseScheduling},
+		{"sdfop", "ablation: over-provisioning on SDF", AblationSDFOverProvision},
+		{"interrupts", "ablation: interrupt merging", AblationInterruptMerging},
+		{"parity", "ablation: parity channels", AblationParity},
+		{"staticwl", "ablation: static wear leveling", AblationStaticWL},
+		{"readprio", "future work: reads over writes/erases", FutureWorkReadPriority},
+		{"placement", "future work: load-balanced write placement", FutureWorkPlacement},
+		{"activescan", "future work: in-storage filtered scan", FutureWorkActiveScan},
+		{"faults", "availability under injected faults", Faults},
+	}
+}
+
+// Lookup finds a registry entry by case-insensitive name.
+func Lookup(name string) (Entry, bool) {
+	for _, e := range Registry() {
+		if strings.EqualFold(e.Name, name) {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}

@@ -126,7 +126,6 @@ type Channel struct {
 	cfg    Config
 	env    *sim.Env
 	bus    *sim.Link
-	busQ   *sim.Queue[busXfer]
 	chips  []*nand.Chip
 	planes []planeState
 	mu     *sim.PriorityResource // the engine serves one command at a time
@@ -146,26 +145,16 @@ type parityKey struct {
 	plane, block, page int
 }
 
-// busXfer is one page moving across the channel bus; done fires when
-// the wires are free again. parent attributes the transfer's trace
-// span to the operation that queued it.
-type busXfer struct {
-	bytes  int
-	parent trace.SpanID
-	done   *sim.Signal
-}
-
-// New builds a channel and starts its bus pump process on env.
+// New builds a channel on env.
 func New(env *sim.Env, cfg Config) (*Channel, error) {
 	if cfg.Chips < 1 {
 		return nil, fmt.Errorf("flashchan: need at least one chip")
 	}
 	ch := &Channel{
-		cfg:  cfg,
-		env:  env,
-		bus:  sim.NewLink(env, cfg.BusRate, cfg.BusOverhead),
-		busQ: sim.NewQueue[busXfer](env),
-		mu:   sim.NewPriorityResource(env, 1),
+		cfg: cfg,
+		env: env,
+		bus: sim.NewLink(env, cfg.BusRate, cfg.BusOverhead),
+		mu:  sim.NewPriorityResource(env, 1),
 	}
 	ch.SetLabel("chan")
 	for i := 0; i < cfg.Chips; i++ {
@@ -200,29 +189,24 @@ func New(env *sim.Env, cfg Config) (*Channel, error) {
 		ch.code = code
 		ch.parity = make(map[parityKey][][]byte)
 	}
-	env.Go("flashchan/buspump", ch.busPump)
 	return ch, nil
 }
 
-// busPump serializes page transfers on the channel bus, FIFO. The
-// span brackets wire occupancy only (command cycles + data), not the
-// time the transfer sat queued behind other pages.
-func (ch *Channel) busPump(p *sim.Proc) {
-	for {
-		x := ch.busQ.Get(p)
-		span := ch.env.Tracer().Begin(ch.env.Now(), x.parent, "chan/bus", trace.PhaseBus)
-		ch.bus.Transfer(p, x.bytes)
-		ch.env.Tracer().End(ch.env.Now(), span)
-		x.done.Fire()
-	}
-}
-
-// transferAsync enqueues a bus transfer and returns its completion
-// signal without blocking.
-func (ch *Channel) transferAsync(n int, parent trace.SpanID) *sim.Signal {
-	done := sim.NewSignal(ch.env)
-	ch.busQ.Put(busXfer{bytes: n, parent: parent, done: done})
-	return done
+// transferAsync claims the bus's next FIFO slot for one page and
+// returns the virtual instant the wires go quiet, without blocking or
+// parking anything: the channel bus is pure timed occupancy, so the
+// old pump process (a park per page on Get plus another inside
+// Transfer) collapses into a Timeline reservation. Callers that must
+// observe completion wait with WaitUntil. The span brackets wire
+// occupancy only (command cycles + data), not the time the transfer
+// sat queued behind other pages — identical bounds to what the pump
+// recorded, emitted eagerly with the slot's computed timestamps.
+func (ch *Channel) transferAsync(n int, parent trace.SpanID) time.Duration {
+	start, end := ch.bus.Reserve(n)
+	t := ch.env.Tracer()
+	span := t.Begin(start, parent, "chan/bus", trace.PhaseBus)
+	t.End(end, span)
+	return end
 }
 
 // Geometry accessors.
@@ -565,7 +549,7 @@ func (ch *Channel) writeLocked(p *sim.Proc, lbn int, data []byte) error {
 					off := pi*stripe + pg*pageSize
 					payload = data[off : off+pageSize]
 				}
-				wp.Await(pending)
+				wp.WaitUntil(pending)
 				if pg+1 < pagesPerBlock {
 					pending = ch.transferAsync(pageSize, parent)
 				}
@@ -645,7 +629,7 @@ func (ch *Channel) ReadAt(p *sim.Proc, lbn int, off, size int) ([]byte, error) {
 	t := ch.env.Tracer()
 	parent := p.Span()
 	stripe := ch.stripeBytes()
-	var pending *sim.Signal
+	var pending time.Duration // wires-quiet instant of the in-flight page (0 = none)
 	for done := 0; done < size; {
 		pi := (off + done) / stripe
 		within := (off + done) % stripe
@@ -671,15 +655,11 @@ func (ch *Channel) ReadAt(p *sim.Proc, lbn int, off, size int) ([]byte, error) {
 			out = append(out, data...)
 		}
 		// Wait for the cache register to drain, then ship this page.
-		if pending != nil {
-			p.Await(pending)
-		}
+		p.WaitUntil(pending)
 		pending = ch.transferAsync(pageSize, parent)
 		done += pageSize
 	}
-	if pending != nil {
-		p.Await(pending)
-	}
+	p.WaitUntil(pending)
 	ch.bytesRead += int64(size)
 	return out, nil
 }

@@ -135,11 +135,14 @@ func BypassStack() StackParams {
 	}
 }
 
-// Stack models software-path CPU costs as a bounded resource.
+// Stack models software-path CPU costs as a bounded resource. CPU
+// charges are pure timed holds, so the cores are a sim.Timeline: a
+// request parks once for queueing-plus-service instead of taking the
+// acquire/wait/release slow path.
 type Stack struct {
 	env    *sim.Env
 	params StackParams
-	cpu    *sim.Resource
+	cpu    *sim.Timeline
 }
 
 // NewStack builds a stack model on env.
@@ -148,9 +151,7 @@ func NewStack(env *sim.Env, params StackParams) *Stack {
 	if cpus < 1 {
 		cpus = 1
 	}
-	cpu := sim.NewResource(env, cpus)
-	cpu.SetName("stack/cpu")
-	return &Stack{env: env, params: params, cpu: cpu}
+	return &Stack{env: env, params: params, cpu: sim.NewTimeline(env, cpus)}
 }
 
 // Params returns the stack's parameters.
@@ -188,7 +189,5 @@ func (s *Stack) charge(p *sim.Proc, d time.Duration) {
 	if d <= 0 {
 		return
 	}
-	s.cpu.Acquire(p)
-	p.Wait(d)
-	s.cpu.Release()
+	s.cpu.Occupy(p, d)
 }

@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// InlinePark flags blocking process calls inside inline scheduler
+// callbacks. The kernel's fast path ((*sim.Env).Schedule and
+// (*sim.Timeline).OccupyAsync) runs the supplied function directly on
+// the scheduler goroutine between events: there is no process to park,
+// so calling a blocking Proc API from one — Wait, WaitUntil, Await,
+// Join, or anything that takes a *sim.Proc such as Acquire, Transfer,
+// Occupy or Queue.Get — deadlocks the simulation (see DESIGN.md,
+// "Kernel performance"). Spawning a fresh process with (*sim.Env).Go
+// from a callback is the legal way to re-enter blocking code, so Go
+// literals are not descended into. internal/sim itself is exempt: the
+// kernel parks and resumes processes as part of implementing them.
+var InlinePark = &Analyzer{
+	Name: "inlinepark",
+	Doc:  "forbid blocking Proc calls inside inline scheduler callbacks (Schedule/OccupyAsync)",
+	Applies: func(f *File) bool {
+		return !f.IsTest() && f.In("internal") && !f.In("internal/sim")
+	},
+	Run: runInlinePark,
+}
+
+// blockingProcMethods are the (*sim.Proc) methods that park the
+// calling process.
+var blockingProcMethods = map[string]bool{
+	"Wait": true, "WaitUntil": true, "Await": true, "Join": true,
+}
+
+// inlineCallbackMethods maps scheduler entry points that run a
+// callback inline to the argument index of that callback.
+var inlineCallbackMethods = map[string]int{
+	"Schedule":    1, // (*sim.Env).Schedule(d, fn)
+	"OccupyAsync": 1, // (*sim.Timeline).OccupyAsync(hold, fn)
+}
+
+func runInlinePark(f *File) []Finding {
+	var findings []Finding
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		idx, ok := inlineCallbackMethods[sel.Sel.Name]
+		if !ok || idx >= len(call.Args) {
+			return true
+		}
+		recv := f.Module.typeOf(sel.X)
+		// With type information, require the receiver to be the kernel
+		// type the entry point belongs to; without it, match the name
+		// alone — a false positive here is waivable, a missed deadlock
+		// is not.
+		if recv != nil && !isSimNamed(recv, "Env") && !isSimNamed(recv, "Timeline") {
+			return true
+		}
+		if lit, ok := call.Args[idx].(*ast.FuncLit); ok {
+			findings = append(findings, checkInlineCallback(f, sel.Sel.Name, lit)...)
+		}
+		return true
+	})
+	return findings
+}
+
+// checkInlineCallback walks one callback literal for blocking calls,
+// skipping (*sim.Env).Go literals: those bodies run as fresh
+// scheduler-owned processes where parking is legal.
+func checkInlineCallback(f *File, entry string, lit *ast.FuncLit) []Finding {
+	var findings []Finding
+	m := f.Module
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if sel.Sel.Name == "Go" {
+				if recv := m.typeOf(sel.X); recv == nil || isSimNamed(recv, "Env") {
+					return false // new process context: blocking is legal
+				}
+			}
+			if idx, ok := inlineCallbackMethods[sel.Sel.Name]; ok && idx < len(call.Args) {
+				if _, ok := call.Args[idx].(*ast.FuncLit); ok {
+					// A nested inline callback is scanned by the
+					// file-level walk; re-scanning it here would
+					// duplicate its findings.
+					return false
+				}
+			}
+			if blockingProcMethods[sel.Sel.Name] && isSimNamed(m.typeOf(sel.X), "Proc") {
+				findings = append(findings, f.finding("inlinepark", call.Pos(),
+					"Proc.%s inside a %s callback parks on the scheduler goroutine and deadlocks "+
+						"the simulation; spawn a process with (*sim.Env).Go instead", sel.Sel.Name, entry))
+				return true
+			}
+		}
+		for _, arg := range call.Args {
+			if t := m.typeOf(arg); t != nil && isSimProcPtr(t) {
+				findings = append(findings, f.finding("inlinepark", call.Pos(),
+					"call passes a *sim.Proc inside a %s callback; blocking APIs like this one park "+
+						"the scheduler goroutine and deadlock the simulation — spawn a process with "+
+						"(*sim.Env).Go instead", entry))
+				break
+			}
+		}
+		return true
+	})
+	return findings
+}
+
+// isSimNamed reports whether t (or its pointee) is the named type
+// sim.<name> — matched by type and package name so the fixture module
+// and the real module both qualify.
+func isSimNamed(t types.Type, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Name() == "sim"
+}
+
+// isSimProcPtr reports whether t is *sim.Proc.
+func isSimProcPtr(t types.Type) bool {
+	if _, ok := t.(*types.Pointer); !ok {
+		return false
+	}
+	return isSimNamed(t, "Proc")
+}

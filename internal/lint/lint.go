@@ -21,6 +21,10 @@
 //   - maporder: no map iteration whose body appends to an outer
 //     slice (without a later deterministic sort), sends on a channel,
 //     or writes output — Go randomizes map iteration order.
+//   - inlinepark: no blocking Proc calls inside inline scheduler
+//     callbacks ((*sim.Env).Schedule, (*sim.Timeline).OccupyAsync) —
+//     those run on the scheduler goroutine itself, so parking there
+//     deadlocks the simulation rather than merely perturbing it.
 //
 // A finding can be waived with a suppression comment carrying a
 // mandatory reason, either on the offending line or the line above:
@@ -71,7 +75,7 @@ type Analyzer struct {
 
 // Analyzers returns the full suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{NoWallClock, SeededRand, RawGo, MapOrder}
+	return []*Analyzer{NoWallClock, SeededRand, RawGo, MapOrder, InlinePark}
 }
 
 func analyzerNames() map[string]bool {

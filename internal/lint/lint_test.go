@@ -100,6 +100,7 @@ func TestPerAnalyzerFindings(t *testing.T) {
 		{"seededrand", "./internal/randuse", 4},
 		{"rawgo", "./internal/spawnuse/...", 3},
 		{"maporder", "./internal/mapuse", 4},
+		{"inlinepark", "./internal/parkuse", 5},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer, func(t *testing.T) {

@@ -108,7 +108,7 @@ type block struct {
 type Plane struct {
 	chip   *Chip
 	index  int
-	res    *sim.Resource
+	tl     *sim.Timeline
 	blocks []block
 	data   map[int64][]byte // pageIndex -> payload (RetainData mode)
 }
@@ -139,7 +139,7 @@ func New(env *sim.Env, params Params) *Chip {
 		pl := &Plane{
 			chip:   c,
 			index:  i,
-			res:    sim.NewResource(env, 1),
+			tl:     sim.NewTimeline(env, 1),
 			blocks: make([]block, params.BlocksPerPlane),
 		}
 		if params.RetainData {
@@ -224,9 +224,7 @@ func (pl *Plane) ReadPage(p *sim.Proc, blockIdx, page int) ([]byte, error) {
 	if page >= b.writePtr {
 		return nil, fmt.Errorf("%w: plane %d block %d page %d", ErrUnwritten, pl.index, blockIdx, page)
 	}
-	pl.res.Acquire(p)
-	p.Wait(pl.chip.params.TRead)
-	pl.res.Release()
+	pl.tl.Occupy(p, pl.chip.params.TRead)
 	pl.chip.reads++
 	if pl.data == nil {
 		return nil, nil
@@ -296,9 +294,7 @@ func (pl *Plane) Program(p *sim.Proc, blockIdx, page int, data []byte) error {
 	if data != nil && len(data) != pl.chip.params.PageSize {
 		return fmt.Errorf("nand: program payload %d bytes, want %d", len(data), pl.chip.params.PageSize)
 	}
-	pl.res.Acquire(p)
-	p.Wait(pl.chip.params.TProg)
-	pl.res.Release()
+	pl.tl.Occupy(p, pl.chip.params.TProg)
 	b.writePtr++
 	pl.chip.programs++
 	if pl.data != nil && data != nil {
@@ -320,9 +316,7 @@ func (pl *Plane) Erase(p *sim.Proc, blockIdx int) error {
 	}
 	env := pl.chip.env
 	span := env.Tracer().Begin(env.Now(), p.Span(), "nand/erase", trace.PhaseFlash)
-	pl.res.Acquire(p)
-	p.Wait(pl.chip.params.TErase)
-	pl.res.Release()
+	pl.tl.Occupy(p, pl.chip.params.TErase)
 	env.Tracer().End(env.Now(), span)
 	pl.chip.erases++
 	b.eraseCount++

@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// The BenchmarkKernel* set measures the scheduler primitives that
+// bound experiment wall-clock (DESIGN.md "Kernel performance"): run
+// with
+//
+//	go test ./internal/sim -bench=BenchmarkKernel -benchmem
+//
+// The fast paths (timed callbacks, typed process resumes, timeline
+// occupancy) must stay allocation-free per event;
+// TestKernelFastPathAllocs pins that down numerically.
+
+// BenchmarkKernelScheduleFire measures the inline-callback fast path:
+// a self-rescheduling timed callback, the shape of every link
+// completion and timer pop after the overhaul.
+func BenchmarkKernelScheduleFire(b *testing.B) {
+	b.ReportAllocs()
+	env := NewEnv()
+	remaining := b.N
+	var fire func()
+	fire = func() {
+		remaining--
+		if remaining > 0 {
+			env.Schedule(time.Microsecond, fire)
+		}
+	}
+	env.Schedule(time.Microsecond, fire)
+	env.Run()
+}
+
+// BenchmarkKernelParkResume measures a full process park/resume cycle
+// (Proc.Wait): one typed event plus two goroutine handoffs. This is
+// the remaining process path, kept for state-dependent waits.
+func BenchmarkKernelParkResume(b *testing.B) {
+	b.ReportAllocs()
+	env := NewEnv()
+	env.Go("worker", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Wait(time.Microsecond)
+		}
+	})
+	env.Run()
+}
+
+// BenchmarkKernelTimelineOccupy measures timed occupancy under
+// contention: four processes sharing a capacity-1 timeline, each op
+// one park.
+func BenchmarkKernelTimelineOccupy(b *testing.B) {
+	b.ReportAllocs()
+	env := NewEnv()
+	tl := NewTimeline(env, 1)
+	for w := 0; w < 4; w++ {
+		n := b.N / 4
+		if w == 0 {
+			n += b.N % 4
+		}
+		iters := n
+		env.Go("worker", func(p *Proc) {
+			for i := 0; i < iters; i++ {
+				tl.Occupy(p, time.Microsecond)
+			}
+		})
+	}
+	env.Run()
+}
+
+// BenchmarkKernelResourceContention measures the same contention
+// pattern on the process-path primitive the timeline replaced:
+// Acquire/Wait/Release on a capacity-1 Resource.
+func BenchmarkKernelResourceContention(b *testing.B) {
+	b.ReportAllocs()
+	env := NewEnv()
+	res := NewResource(env, 1)
+	for w := 0; w < 4; w++ {
+		n := b.N / 4
+		if w == 0 {
+			n += b.N % 4
+		}
+		iters := n
+		env.Go("worker", func(p *Proc) {
+			for i := 0; i < iters; i++ {
+				res.Acquire(p)
+				p.Wait(time.Microsecond)
+				res.Release()
+			}
+		})
+	}
+	env.Run()
+}
+
+// BenchmarkKernelHeapChurn measures heap push/pop with a deep queue:
+// 512 outstanding callbacks at staggered delays keep the 4-ary heap
+// exercising multi-level sift-downs.
+func BenchmarkKernelHeapChurn(b *testing.B) {
+	b.ReportAllocs()
+	env := NewEnv()
+	remaining := b.N
+	var fire func()
+	delay := time.Duration(0)
+	fire = func() {
+		remaining--
+		if remaining > 0 {
+			// Vary the delay deterministically so pushed events land
+			// throughout the queue, not always at its tail.
+			delay = (delay*131 + 7) % 509
+			env.Schedule(delay*time.Microsecond, fire)
+		}
+	}
+	outstanding := 512
+	if b.N < outstanding {
+		outstanding = b.N
+	}
+	for i := 0; i < outstanding; i++ {
+		env.Schedule(time.Duration(i)*time.Microsecond, fire)
+	}
+	env.Run()
+}
+
+// allocsPerEvent builds a workload on a fresh Env, runs it to
+// completion, and returns heap allocations per dispatched event.
+func allocsPerEvent(build func(env *Env)) float64 {
+	env := NewEnv()
+	build(env)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	env.Run()
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(env.Events())
+}
+
+// TestKernelFastPathAllocs asserts the -benchmem property the
+// benchmarks report: steady-state fast-path traffic does not allocate.
+// Bounds are loose (0.05 allocs/event) to absorb one-time costs —
+// heap growth, goroutine stacks — without letting a per-event closure
+// (1+ allocs/event) sneak back in.
+func TestKernelFastPathAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not stable under the race detector")
+	}
+	const bound = 0.05
+	cases := []struct {
+		name  string
+		build func(env *Env)
+	}{
+		{"timed-callback-chain", func(env *Env) {
+			remaining := 200000
+			var fire func()
+			fire = func() {
+				remaining--
+				if remaining > 0 {
+					env.Schedule(time.Microsecond, fire)
+				}
+			}
+			env.Schedule(time.Microsecond, fire)
+		}},
+		{"proc-wait-loop", func(env *Env) {
+			env.Go("worker", func(p *Proc) {
+				for i := 0; i < 100000; i++ {
+					p.Wait(time.Microsecond)
+				}
+			})
+		}},
+		{"timeline-occupy", func(env *Env) {
+			tl := NewTimeline(env, 2)
+			for w := 0; w < 3; w++ {
+				env.Go("worker", func(p *Proc) {
+					for i := 0; i < 50000; i++ {
+						tl.Occupy(p, time.Microsecond)
+					}
+				})
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := allocsPerEvent(tc.build)
+			if got > bound {
+				t.Errorf("%s: %.4f allocs/event, want <= %.2f", tc.name, got, bound)
+			}
+		})
+	}
+}

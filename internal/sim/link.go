@@ -22,7 +22,7 @@ func ByteTime(n int, bytesPerSec float64) time.Duration {
 type Link struct {
 	env      *Env
 	name     string
-	res      *Resource
+	tl       *Timeline
 	rate     float64 // bytes per second
 	factor   float64 // degradation multiplier (1 = healthy)
 	overhead time.Duration
@@ -33,7 +33,7 @@ type Link struct {
 // per second and a fixed per-transfer overhead (command/address cycles,
 // protocol framing).
 func NewLink(env *Env, bytesPerSec float64, overhead time.Duration) *Link {
-	return &Link{env: env, res: NewResource(env, 1), rate: bytesPerSec, factor: 1, overhead: overhead}
+	return &Link{env: env, tl: NewTimeline(env, 1), rate: bytesPerSec, factor: 1, overhead: overhead}
 }
 
 // SetName labels the link in trace output.
@@ -41,8 +41,9 @@ func (l *Link) SetName(name string) { l.name = name }
 
 // SetRateFactor scales the link's effective data rate by f (0 < f <= 1
 // degrades, 1 restores). Fault injection uses it to model a slow bus
-// or a flapping interconnect; transfers already on the wire are not
-// re-timed, only subsequent ones.
+// or a flapping interconnect; transfers admitted after the change see
+// the new rate, transfers already admitted (on the wire or queued, the
+// wire-ownership model does not re-time a queued command) keep theirs.
 func (l *Link) SetRateFactor(f float64) {
 	if f <= 0 {
 		panic("sim: link rate factor must be positive")
@@ -53,6 +54,12 @@ func (l *Link) SetRateFactor(f float64) {
 // RateFactor returns the current degradation multiplier.
 func (l *Link) RateFactor() float64 { return l.factor }
 
+// holdFor returns the wire-occupancy time of an n-byte transfer at the
+// current effective rate.
+func (l *Link) holdFor(n int) time.Duration {
+	return l.overhead + ByteTime(n, l.rate*l.factor)
+}
+
 // Transfer moves n bytes across the link, blocking for queueing plus
 // transmission time.
 func (l *Link) Transfer(p *Proc, n int) {
@@ -60,13 +67,21 @@ func (l *Link) Transfer(p *Proc, n int) {
 	if full {
 		l.env.tracer.Emit(l.env.Now(), trace.KindXferBegin, 0, 0, l.name, "", int64(n))
 	}
-	l.res.Acquire(p)
-	p.Wait(l.overhead + ByteTime(n, l.rate*l.factor))
-	l.res.Release()
+	l.tl.Occupy(p, l.holdFor(n))
 	l.moved += int64(n)
 	if full {
 		l.env.tracer.Emit(l.env.Now(), trace.KindXferEnd, 0, 0, l.name, "", int64(n))
 	}
+}
+
+// Reserve claims the link's next FIFO slot for an n-byte transfer
+// without blocking and returns the slot's wire-occupancy bounds.
+// The transfer is committed: callers that care about completion wait
+// with Proc.WaitUntil(end). This is the zero-park form device models
+// use on their hottest paths.
+func (l *Link) Reserve(n int) (start, end time.Duration) {
+	l.moved += int64(n)
+	return l.tl.Reserve(l.holdFor(n))
 }
 
 // Rate returns the link data rate in bytes per second.
@@ -76,7 +91,7 @@ func (l *Link) Rate() float64 { return l.rate }
 func (l *Link) Moved() int64 { return l.moved }
 
 // Busy reports whether a transfer is in progress or queued.
-func (l *Link) Busy() bool { return !l.res.Idle() }
+func (l *Link) Busy() bool { return l.tl.Busy() }
 
 // SharedLink is a processor-sharing bandwidth resource: all in-flight
 // transfers progress simultaneously, each receiving an equal share of

@@ -1,0 +1,109 @@
+package sim
+
+import "time"
+
+// Timeline is the kernel's timed-occupancy fast path: a FIFO resource
+// whose every hold is a pure virtual-time delay known at admission.
+// Because the whole occupancy schedule is computable the moment a
+// request arrives, the kernel assigns each requester its busy interval
+// immediately and delivers the completion inline in the scheduler loop
+// — one park for a blocking caller instead of the up-to-two of
+// Acquire+Wait, zero parks and zero closures for the reservation and
+// callback forms.
+//
+// It replaces the Resource.Acquire / Proc.Wait / Resource.Release
+// pattern wherever the hold never depends on state discovered while
+// holding: NAND array operations, serialized bus transfers, host-stack
+// CPU charges. Semantics match a FIFO Resource of the same capacity
+// whose holders sleep for their hold and release: with k lanes, a
+// request admitted at time T starts at max(T, earliest lane-free
+// instant) and completes at start+hold. Rate or duration changes apply
+// to holds admitted after the change; already-admitted slots keep
+// their interval (a Resource queue behaves the same for in-service
+// holds, and no model re-times a queued command).
+type Timeline struct {
+	env   *Env
+	lanes []int64 // virtual instant each lane next frees
+}
+
+// NewTimeline returns a timeline with the given concurrency capacity.
+func NewTimeline(env *Env, capacity int) *Timeline {
+	if capacity < 1 {
+		panic("sim: timeline capacity must be >= 1")
+	}
+	return &Timeline{env: env, lanes: make([]int64, capacity)}
+}
+
+// claim assigns the next FIFO slot of length hold and returns its
+// bounds. The earliest-free lane wins; ties break toward the lowest
+// lane index, keeping assignment deterministic.
+func (t *Timeline) claim(hold time.Duration) (start, end int64) {
+	if hold < 0 {
+		hold = 0
+	}
+	best := 0
+	for i := 1; i < len(t.lanes); i++ {
+		if t.lanes[i] < t.lanes[best] {
+			best = i
+		}
+	}
+	start = t.lanes[best]
+	if now := t.env.now; start < now {
+		start = now
+	}
+	end = start + int64(hold)
+	t.lanes[best] = end
+	return start, end
+}
+
+// Occupy blocks p for queueing plus hold — the blocking fast-path
+// form. The process parks exactly once, resumed by a typed event at
+// the end of its slot.
+func (t *Timeline) Occupy(p *Proc, hold time.Duration) {
+	_, end := t.claim(hold)
+	t.env.scheduleAt(end, event{proc: p})
+	p.park()
+}
+
+// Reserve assigns the next FIFO slot without blocking and returns its
+// bounds as virtual instants. Callers observe completion with
+// Proc.WaitUntil(end) — or not at all, for fire-and-forget occupancy.
+func (t *Timeline) Reserve(hold time.Duration) (start, end time.Duration) {
+	s, e := t.claim(hold)
+	return time.Duration(s), time.Duration(e)
+}
+
+// OccupyAsync assigns the next FIFO slot and runs fn inline in the
+// scheduler loop when it completes. fn runs in scheduler context and
+// must not call blocking Proc APIs (sdflint's inlinepark check
+// enforces this outside the kernel).
+func (t *Timeline) OccupyAsync(hold time.Duration, fn func()) {
+	_, end := t.claim(hold)
+	t.env.scheduleAt(end, event{fn: fn})
+}
+
+// Busy reports whether any lane is occupied at the current instant.
+func (t *Timeline) Busy() bool {
+	now := t.env.now
+	for _, l := range t.lanes {
+		if l > now {
+			return true
+		}
+	}
+	return false
+}
+
+// FreeAt returns the earliest virtual instant at which a new hold
+// could start.
+func (t *Timeline) FreeAt() time.Duration {
+	best := t.lanes[0]
+	for _, l := range t.lanes[1:] {
+		if l < best {
+			best = l
+		}
+	}
+	if best < t.env.now {
+		best = t.env.now
+	}
+	return time.Duration(best)
+}
