@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint trace-smoke chaos-smoke bench-smoke check
+.PHONY: all build vet test race lint trace-smoke chaos-smoke recovery-smoke bench-smoke check
 
 all: check
 
@@ -48,6 +48,19 @@ chaos-smoke:
 	cmp chaos-a.jsonl chaos-b.jsonl
 	$(GO) run ./cmd/sdfctl bench diff BENCH_faults_a.json BENCH_faults.json
 	rm -f chaos-b.json chaos-b.jsonl BENCH_faults_a.json
+
+# recovery-smoke runs the crash-and-remount experiment twice and
+# requires byte-identical recovery traces and bench JSON: the same
+# media damage, the same mount-time scan, the same recovery latency,
+# every run (DESIGN.md "Crash consistency & recovery").
+recovery-smoke:
+	$(GO) run ./cmd/sdfbench -quick -json -trace recovery-a.json recovery
+	mv BENCH_recovery.json BENCH_recovery_a.json
+	$(GO) run ./cmd/sdfbench -quick -json -trace recovery-b.json recovery
+	cmp recovery-a.json recovery-b.json
+	cmp recovery-a.jsonl recovery-b.jsonl
+	$(GO) run ./cmd/sdfctl bench diff BENCH_recovery_a.json BENCH_recovery.json
+	rm -f recovery-b.json recovery-b.jsonl BENCH_recovery_a.json
 
 # bench-smoke regenerates the Figure 7 benchmark JSON in quick mode
 # and diffs its determinism-sensitive fields (tables, metrics) against

@@ -9,8 +9,8 @@
 // With no arguments every experiment runs in order. Experiment names
 // are case-insensitive: table1, figure1, table4, figure7, figure8,
 // figure10, figure11, figure12, figure13, figure14, stack, erase,
-// and the ablations (stripe, buffer, erasesched, sdfop, interrupts,
-// parity, staticwl).
+// faults, recovery, and the ablations (stripe, buffer, erasesched,
+// sdfop, interrupts, parity, staticwl).
 //
 // -parallel N runs up to N experiments concurrently. Experiments
 // share no simulation state, so the tables are byte-identical to a
@@ -21,7 +21,8 @@
 // measured metrics next to the formatted rows, plus a "perf" block
 // (wall seconds, kernel events, events/sec) recording the host cost of
 // the run. -trace collects virtual-time trace events from the
-// experiments that support tracing (figure8) and writes a Chrome
+// experiments that support tracing (figure8, faults, recovery) and
+// writes a Chrome
 // trace-event file to the given path plus a canonical JSONL stream
 // alongside it; both are deterministic, so two runs of the same
 // experiment produce byte-identical files.
@@ -206,7 +207,7 @@ func writeBenchJSON(r experiments.Result, quick bool) error {
 // JSONL stream next to it (same path with a .jsonl extension).
 func writeTraces(chromePath string, c *trace.Collector) error {
 	if c.Len() == 0 {
-		fmt.Fprintln(os.Stderr, "sdfbench: no trace events collected (only figure8 and faults emit traces)")
+		fmt.Fprintln(os.Stderr, "sdfbench: no trace events collected (only figure8, faults and recovery emit traces)")
 		return nil
 	}
 	chrome, err := os.Create(chromePath)

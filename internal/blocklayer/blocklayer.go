@@ -12,6 +12,7 @@ package blocklayer
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"sdf/internal/core"
@@ -119,6 +120,20 @@ type Layer struct {
 // New builds the layer; all device blocks start as dirty (needing an
 // initial erase) and the per-channel erasers start immediately.
 func New(env *sim.Env, dev *core.Device, cfg Config) *Layer {
+	l := newLayer(env, dev, cfg)
+	for _, cs := range l.chans {
+		for lbn := 0; lbn < dev.BlocksPerChannel(); lbn++ {
+			cs.dirty = append(cs.dirty, lbn)
+		}
+	}
+	l.startErasers()
+	return l
+}
+
+// newLayer builds the layer skeleton: defaults applied, channel state
+// allocated, pools empty, erasers not yet running. New and Mount fill
+// the pools their own way before calling startErasers.
+func newLayer(env *sim.Env, dev *core.Device, cfg Config) *Layer {
 	if cfg.IdlePollInterval <= 0 {
 		cfg.IdlePollInterval = time.Millisecond
 	}
@@ -142,20 +157,26 @@ func New(env *sim.Env, dev *core.Device, cfg Config) *Layer {
 		inflight: make([]int, dev.Channels()),
 	}
 	for c := 0; c < dev.Channels(); c++ {
-		cs := &chanState{work: sim.NewSignal(env)}
-		for lbn := 0; lbn < dev.BlocksPerChannel(); lbn++ {
-			cs.dirty = append(cs.dirty, lbn)
-		}
-		l.chans = append(l.chans, cs)
-		if cfg.BackgroundErase {
-			c := c
-			env.Go(fmt.Sprintf("blocklayer/eraser.%d", c), func(p *sim.Proc) {
-				l.eraseLoop(p, c)
-			})
-			cs.work.Fire() // initial pool needs erasing
-		}
+		l.chans = append(l.chans, &chanState{work: sim.NewSignal(env)})
 	}
 	return l
+}
+
+// startErasers launches the per-channel idle-time erasers and kicks
+// any channel that already has an erase backlog.
+func (l *Layer) startErasers() {
+	if !l.cfg.BackgroundErase {
+		return
+	}
+	for c, cs := range l.chans {
+		c := c
+		l.env.Go(fmt.Sprintf("blocklayer/eraser.%d", c), func(p *sim.Proc) {
+			l.eraseLoop(p, c)
+		})
+		if len(cs.dirty) > 0 {
+			cs.work.Fire()
+		}
+	}
 }
 
 // Device returns the underlying SDF device.
@@ -295,12 +316,16 @@ func (l *Layer) Write(p *sim.Proc, id BlockID, data []byte) (Handle, error) {
 	cs := l.chans[c]
 	l.inflight[c]++
 	defer func() { l.inflight[c]-- }()
+	// Every write carries its ID in the pages' out-of-band area (the
+	// paper's 128-bit write IDs, low 64 bits significant), so a
+	// mount-time scan can rebuild this map after power loss.
+	tag := flashchan.WriteID{Lo: uint64(id)}
 	var lbn int
 	switch {
 	case len(cs.erased) > 0:
 		lbn = cs.erased[len(cs.erased)-1]
 		cs.erased = cs.erased[:len(cs.erased)-1]
-		if err := l.dev.Write(p, c, lbn, data); err != nil {
+		if err := l.dev.WriteTagged(p, c, lbn, data, tag); err != nil {
 			// Block state is uncertain after a failed program; return
 			// it via the dirty pool so it is re-erased before reuse.
 			cs.dirty = append(cs.dirty, lbn)
@@ -312,7 +337,7 @@ func (l *Layer) Write(p *sim.Proc, id BlockID, data []byte) (Handle, error) {
 		lbn = cs.dirty[len(cs.dirty)-1]
 		cs.dirty = cs.dirty[:len(cs.dirty)-1]
 		l.inlineErases++
-		if err := l.dev.EraseWrite(p, c, lbn, data); err != nil {
+		if err := l.dev.EraseWriteTagged(p, c, lbn, data, tag); err != nil {
 			if !errors.Is(err, flashchan.ErrOutOfSpace) {
 				// Keep the block in circulation unless its spares are
 				// exhausted; previously a failure here leaked the lbn.
@@ -377,6 +402,31 @@ func (l *Layer) Lookup(id BlockID) (Handle, bool) {
 	return h, ok
 }
 
+// IDs returns every live block ID in ascending order.
+func (l *Layer) IDs() []BlockID {
+	ids := make([]BlockID, 0, len(l.blocks))
+	for id := range l.blocks {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// MaxID returns the highest live block ID, if any. ID allocators
+// resume past it after a remount so recovered blocks are never
+// re-addressed.
+func (l *Layer) MaxID() (BlockID, bool) {
+	var max BlockID
+	ok := false
+	for id := range l.blocks {
+		if !ok || id > max {
+			max = id
+			ok = true
+		}
+	}
+	return max, ok
+}
+
 // Free releases the block written under id. The space returns to the
 // channel's dirty pool; the background eraser reclaims it during idle
 // time (or the next write to the channel pays an inline erase).
@@ -437,9 +487,10 @@ func (l *Layer) eraseLoop(p *sim.Proc, c int) {
 		lbn := cs.dirty[len(cs.dirty)-1]
 		cs.dirty = cs.dirty[:len(cs.dirty)-1]
 		if err := l.dev.Erase(p, c, lbn); err != nil {
-			if errors.Is(err, flashchan.ErrChannelDead) {
-				// Killed between the aliveness check and the command:
-				// keep the backlog for after revival.
+			if errors.Is(err, flashchan.ErrChannelDead) || errors.Is(err, flashchan.ErrPowerLoss) {
+				// Killed between the aliveness check and the command
+				// (or power died mid-erase): keep the backlog for
+				// after revival or remount.
 				cs.dirty = append(cs.dirty, lbn)
 				l.recordError(c, err)
 				continue

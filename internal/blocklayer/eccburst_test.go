@@ -1,0 +1,90 @@
+package blocklayer_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"sdf/internal/blocklayer"
+	"sdf/internal/core"
+	"sdf/internal/fault"
+	"sdf/internal/sim"
+)
+
+// TestReadRetryUnderECCBurst drives a read into a transient ECC burst
+// and pins the degraded-mode counters: the read must retry (not fail
+// fast), the repeated failures must quarantine the channel, and once
+// the burst lapses the data must come back intact.
+func TestReadRetryUnderECCBurst(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	cfg := core.DefaultConfig()
+	cfg.Channels = 2
+	cfg.Channel.Nand.BlocksPerPlane = 8
+	cfg.Channel.Nand.PagesPerBlock = 4
+	cfg.Channel.Nand.RetainData = true
+	cfg.Channel.SparePerPlane = 2
+	cfg.Channel.ECC = true
+	dev, err := core.New(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lcfg := blocklayer.DefaultConfig()
+	lcfg.ReadRetries = 4
+	lcfg.RetryBackoff = 200 * time.Microsecond
+	lcfg.QuarantineThreshold = 2
+	lcfg.QuarantineWindow = 5 * time.Millisecond
+	l := blocklayer.New(env, dev, lcfg)
+
+	data := make([]byte, l.BlockSize())
+	rand.New(rand.NewSource(9)).Read(data)
+	writer := env.Go("t/write", func(p *sim.Proc) {
+		// ID 0 places on channel 0, the burst target.
+		if _, err := l.Write(p, 0, data); err != nil {
+			t.Error(err)
+		}
+	})
+	env.RunUntilDone(writer)
+	// Drain the background erasers so the channel is idle: the read
+	// must meet the burst at the media, not queue past it.
+	env.Run()
+
+	inj := fault.NewInjector(env)
+	fault.AttachDevice(inj, "sdf0", dev)
+	// Injection instants are relative to the arm time.
+	burstAt := env.Now() + time.Millisecond
+	pl := &fault.Plan{Seed: 9, Injections: []fault.Injection{
+		{At: time.Millisecond, Kind: fault.ECCBurst, Target: "sdf0/chan0", Rate: 1e-2, Duration: time.Millisecond},
+	}}
+	if err := pl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Arm(pl); err != nil {
+		t.Fatal(err)
+	}
+
+	reader := env.Go("t/read", func(p *sim.Proc) {
+		// Land the read just inside the burst: the first attempts hit
+		// the boosted bit-error rate, the later retries outlive it.
+		p.Wait(burstAt + 50*time.Microsecond - env.Now())
+		got, err := l.Read(p, 0, 0, l.BlockSize())
+		if err != nil {
+			t.Errorf("read under burst: %v", err)
+			return
+		}
+		if !bytes.Equal(got, data) {
+			t.Error("read under burst returned wrong bytes")
+		}
+	})
+	env.RunUntilDone(reader)
+	env.Run()
+
+	quarantines, readRetries, _ := l.HealthStats()
+	if readRetries < 2 {
+		t.Errorf("readRetries = %d, want >= 2 (burst must force retries)", readRetries)
+	}
+	if quarantines < 1 {
+		t.Errorf("quarantines = %d, want >= 1 (consecutive failures must quarantine)", quarantines)
+	}
+}

@@ -25,8 +25,15 @@ func (s *Slice) compactLoop(p *sim.Proc) {
 				break
 			}
 			s.compactBusy = true
-			s.compactTier(p, tier)
+			ok := s.compactTier(p, tier)
 			s.compactBusy = false
+			if !ok {
+				// The merge could not write its outputs (dead or
+				// powered-off channel). Failed writes consume no
+				// virtual time, so retrying at this instant would
+				// spin forever; park until the next flush kicks us.
+				break
+			}
 		}
 	}
 }
@@ -42,7 +49,9 @@ func (s *Slice) overfullTier() int {
 }
 
 // compactTier merges every run of the tier into one run of tier+1.
-func (s *Slice) compactTier(p *sim.Proc, tier int) {
+// It reports false when an output write failed; the merge is then
+// aborted with the inputs left fully intact.
+func (s *Slice) compactTier(p *sim.Proc, tier int) bool {
 	// Snapshot the tier's current runs but leave them visible: lookups
 	// during the (long) merge must still see this data. New flushes
 	// append behind the snapshot and are not part of this merge.
@@ -105,13 +114,16 @@ func (s *Slice) compactTier(p *sim.Proc, tier int) {
 	// Write the merged run as full patches.
 	var out run
 	var batch []Entry
+	var werr error
 	used := 0
 	flushBatch := func() {
-		if len(batch) == 0 {
+		if len(batch) == 0 || werr != nil {
 			return
 		}
 		pt, err := s.writePatch(p, batch)
-		if err == nil {
+		if err != nil {
+			werr = err
+		} else {
 			out = append(out, pt)
 		}
 		batch = nil
@@ -126,11 +138,23 @@ func (s *Slice) compactTier(p *sim.Proc, tier int) {
 		used += eb
 	}
 	flushBatch()
+	if werr != nil {
+		// Abort: free whatever outputs did land and keep the inputs.
+		// Their manifest adds were never written, so crash replay
+		// never sees the partial merge either (retire journals a del
+		// for a ref that was never added, which replay ignores).
+		for _, pt := range out {
+			s.retire(p, pt)
+		}
+		return false
+	}
 
-	// Install the output, then atomically drop the merged runs (they
-	// are the oldest entries of the tier; newer flushes appended after
-	// the snapshot stay) and retire their patches.
+	// The whole output run is durable: manifest it as one atomic
+	// group, install it, then drop the merged runs (they are the
+	// oldest entries of the tier; newer flushes appended after the
+	// snapshot stay) and retire their patches.
 	if len(out) > 0 {
+		s.cfg.Journal.appendRun(tier+1, out)
 		s.insertRun(tier+1, out)
 	}
 	s.tiers[tier] = s.tiers[tier][len(inputs):]
@@ -140,6 +164,7 @@ func (s *Slice) compactTier(p *sim.Proc, tier int) {
 		}
 	}
 	s.stats.Compactions++
+	return true
 }
 
 // readPatchAll reads a patch end to end and returns its payload (nil

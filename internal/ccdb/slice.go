@@ -27,6 +27,12 @@ type Config struct {
 	// DataMode stores real value bytes; otherwise only sizes and
 	// timing are tracked.
 	DataMode bool
+	// Journal, when set, models the mirrored log device: Puts append
+	// to it before entering the memtable (write-ahead), flushes and
+	// compactions record patch-manifest updates on it, and MountSlice
+	// rebuilds the slice from it after a power loss. nil keeps the
+	// old behavior (no durability tracking).
+	Journal *Journal
 }
 
 // DefaultConfig returns the production parameters.
@@ -88,8 +94,14 @@ type Slice struct {
 	mem     []Entry
 	memIdx  map[string]int
 	memUsed int
-	tiers   [][]run
-	flushMu *sim.Resource
+	// flushing holds the swapped-out memtable for the duration of its
+	// patch write, keeping those entries readable: without it a key
+	// would vanish from lookups for the whole (milliseconds-long)
+	// block write, in neither the memtable nor any tier.
+	flushing    []Entry
+	flushingIdx map[string]int
+	tiers       [][]run
+	flushMu     *sim.Resource
 
 	compactKick *sim.Signal
 	compactBusy bool
@@ -112,6 +124,14 @@ type Stats struct {
 // NewSlice creates a slice over the given storage and starts its
 // background compaction process.
 func NewSlice(env *sim.Env, store Storage, cfg Config) *Slice {
+	s := newSlice(env, store, cfg)
+	env.Go("ccdb/compactor", s.compactLoop)
+	return s
+}
+
+// newSlice builds the slice without starting the compactor —
+// MountSlice rebuilds the tiers first.
+func newSlice(env *sim.Env, store Storage, cfg Config) *Slice {
 	if cfg.PatchBytes <= 0 {
 		cfg.PatchBytes = store.BlockSize()
 	}
@@ -121,7 +141,7 @@ func NewSlice(env *sim.Env, store Storage, cfg Config) *Slice {
 	if cfg.RunsPerTier < 2 {
 		cfg.RunsPerTier = 2
 	}
-	s := &Slice{
+	return &Slice{
 		env:         env,
 		store:       store,
 		cfg:         cfg,
@@ -129,8 +149,6 @@ func NewSlice(env *sim.Env, store Storage, cfg Config) *Slice {
 		flushMu:     sim.NewResource(env, 1),
 		compactKick: sim.NewSignal(env),
 	}
-	env.Go("ccdb/compactor", s.compactLoop)
-	return s
 }
 
 // Stats returns a snapshot of activity counters.
@@ -159,9 +177,11 @@ func (s *Slice) Patches() int {
 // giving the value length. When the in-memory container reaches the
 // patch capacity it is flushed as one 8 MB block write, and Put blocks
 // for that write — giving writers the patch-granular rhythm of the
-// production system (§3.3.3). (The WAL that makes smaller-granularity
-// durability possible lands on a separate log device and is not the
-// bottleneck; it is not simulated.)
+// production system (§3.3.3). With a journal configured the entry is
+// appended to the write-ahead log before it enters the memtable, so a
+// nil return means the write is durable: it survives a power loss of
+// the SDF through mount-time replay. A Put rejected by a halted
+// journal was never acknowledged and never becomes visible.
 func (s *Slice) Put(p *sim.Proc, key string, value []byte, size int) error {
 	if value != nil && len(value) != size {
 		return fmt.Errorf("%w: len=%d size=%d", ErrBadValue, len(value), size)
@@ -176,6 +196,9 @@ func (s *Slice) Put(p *sim.Proc, key string, value []byte, size int) error {
 		if err := s.Flush(p); err != nil {
 			return err
 		}
+	}
+	if err := s.cfg.Journal.appendPut(key, value, size); err != nil {
+		return err
 	}
 	if i, ok := s.memIdx[key]; ok {
 		s.memUsed += size - s.mem[i].Size
@@ -204,17 +227,49 @@ func (s *Slice) Flush(p *sim.Proc) error {
 		return nil
 	}
 	entries := s.mem
+	watermark := s.cfg.Journal.putCount()
 	s.mem = nil
 	s.memIdx = make(map[string]int)
 	s.memUsed = 0
 	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+	s.flushing = entries
+	s.flushingIdx = make(map[string]int, len(entries))
+	for i, e := range entries {
+		s.flushingIdx[e.Key] = i
+	}
 	pt, err := s.writePatch(p, entries)
+	s.flushing = nil
+	s.flushingIdx = nil
 	if err != nil {
+		// The patch never landed (dead or powered-off channel):
+		// return the entries to the memtable so they stay visible and
+		// get another chance on the next flush. Keys overwritten by
+		// puts that arrived during the failed write keep the newer
+		// value.
+		s.mergeBack(entries)
 		return err
+	}
+	// The patch is durable; manifest it and truncate the log records
+	// it covers. A halted journal skips both together, leaving the
+	// entries replayable from the log.
+	if s.cfg.Journal.appendRun(0, []*patch{pt}) {
+		s.cfg.Journal.truncate(watermark)
 	}
 	s.insertRun(0, run{pt})
 	s.stats.Flushes++
 	return nil
+}
+
+// mergeBack reinstates entries from a failed patch write.
+func (s *Slice) mergeBack(entries []Entry) {
+	for _, e := range entries {
+		if _, ok := s.memIdx[e.Key]; ok {
+			continue
+		}
+		s.memIdx[e.Key] = len(s.mem)
+		s.mem = append(s.mem, e)
+		s.memUsed += s.entryBytes(e.Key, e.Size)
+	}
 }
 
 // writePatch serializes sorted entries into one block write.
@@ -265,6 +320,13 @@ func (s *Slice) Get(p *sim.Proc, key string) ([]byte, int, error) {
 		e := s.mem[i]
 		return e.Value, e.Size, nil
 	}
+	// An entry mid-flush is older than the live memtable but newer
+	// than every patch.
+	if i, ok := s.flushingIdx[key]; ok {
+		s.stats.GetsFromMem++
+		e := s.flushing[i]
+		return e.Value, e.Size, nil
+	}
 	// Tier 0 holds the newest data; within a tier, later runs are
 	// newer.
 	for _, tier := range s.tiers {
@@ -306,8 +368,11 @@ func (s *Slice) unpin(pt *patch) {
 	}
 }
 
-// retire frees a patch now or when its last reader finishes.
+// retire frees a patch now or when its last reader finishes. The
+// manifest del lands before the (possibly blocking) device free, so a
+// crash mid-free leaves at worst an orphan for replay to reclaim.
 func (s *Slice) retire(p *sim.Proc, pt *patch) {
+	s.cfg.Journal.appendDel(pt.ref)
 	pt.dead = true
 	if pt.pins == 0 {
 		_ = s.store.Free(p, pt.ref)
@@ -321,6 +386,9 @@ func (s *Slice) retire(p *sim.Proc, pt *patch) {
 func (s *Slice) Keys() int {
 	seen := make(map[string]bool)
 	for _, e := range s.mem {
+		seen[e.Key] = true
+	}
+	for _, e := range s.flushing {
 		seen[e.Key] = true
 	}
 	for _, tier := range s.tiers {

@@ -50,9 +50,27 @@ type SDFStore struct {
 	nextID uint64
 }
 
-// NewSDFStore wraps a block layer.
+// NewSDFStore wraps a block layer. On a remounted layer the ID
+// counter resumes above the largest recovered block ID, so fresh
+// patches never collide with survivors.
 func NewSDFStore(layer *blocklayer.Layer) *SDFStore {
-	return &SDFStore{layer: layer}
+	s := &SDFStore{layer: layer}
+	if max, ok := layer.MaxID(); ok {
+		s.nextID = uint64(max) + 1
+	}
+	return s
+}
+
+// LiveRefs returns every block ID the layer currently addresses, in
+// ascending order — the set MountSlice checks the manifest against to
+// free orphaned patches.
+func (s *SDFStore) LiveRefs() []Ref {
+	ids := s.layer.IDs()
+	refs := make([]Ref, len(ids))
+	for i, id := range ids {
+		refs[i] = Ref(id)
+	}
+	return refs
 }
 
 // BlockSize returns the SDF write unit.

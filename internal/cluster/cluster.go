@@ -53,6 +53,12 @@ type Node struct {
 	// timed out here, or arrived while the node was down). Read-repair
 	// and restart-time re-replication reconcile them.
 	dirty map[string]bool
+	// lostPower distinguishes a power cut from a clean crash: the
+	// node's device holds persistent media state and must be
+	// remounted (onRemount) before it can serve again.
+	lostPower bool
+	onFail    func()
+	onRemount func(p *sim.Proc) (*ccdb.Slice, error)
 }
 
 // NewNode wraps a slice as a replica node with a 10 GbE NIC.
@@ -68,6 +74,16 @@ func NewNode(env *sim.Env, name string, slice *ccdb.Slice) *Node {
 
 // NIC returns the node's network link, so fault plans can degrade it.
 func (n *Node) NIC() *sim.SharedLink { return n.nic }
+
+// SetPowerHooks wires the node for power-loss injection. fail runs at
+// the crash instant in scheduler context (it must not block — flag
+// flips like Device.PowerLoss and Journal.Halt only); remount runs in
+// its own process at restart and returns the recovered slice, or an
+// error if the device cannot be brought back.
+func (n *Node) SetPowerHooks(fail func(), remount func(p *sim.Proc) (*ccdb.Slice, error)) {
+	n.onFail = fail
+	n.onRemount = remount
+}
 
 // Alive reports whether the node is serving requests.
 func (n *Node) Alive() bool { return n.alive }
@@ -116,6 +132,11 @@ type Stats struct {
 	Hedges int64
 	// Rereplications counts keys copied back to a restarted node.
 	Rereplications int64
+	// Remounts counts nodes brought back through device recovery
+	// after a power loss; FailedRemounts counts recovery attempts
+	// that errored, leaving the node down.
+	Remounts       int64
+	FailedRemounts int64
 }
 
 // Group is a replicated keyspace across nodes; nodes[0] is the
@@ -157,19 +178,63 @@ func (g *Group) CrashNode(name string) bool {
 	return false
 }
 
+// PowerLossNode cuts power to the named node: it leaves service like
+// CrashNode, and additionally runs the node's fail hook (flipping the
+// device and journal into their powered-off state) so in-flight
+// writes tear exactly as the media model dictates. RestartNode must
+// then remount the device before the node can serve. Safe to call
+// from scheduler context. It reports whether the node was found
+// alive.
+func (g *Group) PowerLossNode(name string) bool {
+	for _, node := range g.nodes {
+		if node.Name == name && node.alive {
+			node.alive = false
+			node.lostPower = true
+			if node.onFail != nil {
+				node.onFail()
+			}
+			return true
+		}
+	}
+	return false
+}
+
 // RestartNode brings a crashed node back and starts background
 // re-replication of every key it missed, copied from healthy peers.
-// It reports whether the node was found crashed.
+// A node that lost power is first remounted: its device recovery and
+// journal replay run in a background process, and the node rejoins
+// the group only once the recovered slice is installed — reads never
+// route to a half-recovered replica. It reports whether the node was
+// found crashed.
 func (g *Group) RestartNode(name string) bool {
 	for _, node := range g.nodes {
-		if node.Name == name && !node.alive {
-			node.alive = true
-			node := node
-			g.env.Go("cluster/rereplicate", func(p *sim.Proc) {
+		if node.Name != name || node.alive {
+			continue
+		}
+		node := node
+		if node.lostPower && node.onRemount != nil {
+			g.env.Go("cluster/remount", func(p *sim.Proc) {
+				t := g.env.Tracer()
+				span := t.Begin(g.env.Now(), 0, "cluster/remount."+node.Name, trace.PhaseRecovery)
+				slice, err := node.onRemount(p)
+				t.End(g.env.Now(), span)
+				if err != nil {
+					g.stats.FailedRemounts++
+					return
+				}
+				node.Slice = slice
+				node.lostPower = false
+				node.alive = true
+				g.stats.Remounts++
 				g.rereplicate(p, node)
 			})
 			return true
 		}
+		node.alive = true
+		g.env.Go("cluster/rereplicate", func(p *sim.Proc) {
+			g.rereplicate(p, node)
+		})
+		return true
 	}
 	return false
 }
@@ -226,6 +291,15 @@ func (g *Group) Put(p *sim.Proc, key string, value []byte, size int) error {
 			firstErr = err
 		}
 		g.nodes[i].dirty[key] = true
+		// A node that was down when this put started but is alive now
+		// remounted mid-put: its restart-time re-replication pass ran
+		// before this key was marked dirty, so catch the straggler with
+		// another pass.
+		if node := g.nodes[i]; errors.Is(err, ErrNodeDown) && node.alive {
+			g.env.Go("cluster/rereplicate", func(wp *sim.Proc) {
+				g.rereplicate(wp, node)
+			})
+		}
 	}
 	if firstErr == nil {
 		g.stats.Puts++

@@ -75,6 +75,93 @@ func New(env *sim.Env, cfg Config) (*Device, error) {
 	return d, nil
 }
 
+// DeviceState is the card state that survives a power loss: every
+// channel's NAND media and spare-area metadata. Capture it with State
+// after PowerLoss and hand it to Mount in a fresh environment.
+type DeviceState struct {
+	channels []*flashchan.Persistent
+}
+
+// PowerLoss cuts power to the whole card at the current instant:
+// every channel engine goes offline and in-flight programs and erases
+// tear in the media. It is a pure state flip (no parking), so fault
+// handlers may call it from scheduler context. There is no power-on;
+// recovery is State + Mount + Recover.
+func (d *Device) PowerLoss() {
+	for _, ch := range d.channels {
+		ch.PowerOff()
+	}
+}
+
+// State captures the device's persistent media. Call only after
+// PowerLoss, when no command can mutate it.
+func (d *Device) State() *DeviceState {
+	st := &DeviceState{}
+	for _, ch := range d.channels {
+		st.channels = append(st.channels, ch.Persistent())
+	}
+	return st
+}
+
+// Mount rebuilds a device over surviving media in a fresh
+// environment, with the same per-channel seeds and labels New would
+// assign. The channels come up with empty FTL state; run Recover
+// before serving I/O.
+func Mount(env *sim.Env, cfg Config, state *DeviceState) (*Device, error) {
+	if cfg.Channels < 1 {
+		return nil, fmt.Errorf("core: need at least one channel")
+	}
+	if len(state.channels) != cfg.Channels {
+		return nil, fmt.Errorf("core: mount with %d channels of media, config wants %d", len(state.channels), cfg.Channels)
+	}
+	d := &Device{
+		cfg:   cfg,
+		env:   env,
+		pcie:  hostif.PCIe11x8(env),
+		stack: hostif.NewStack(env, cfg.Stack),
+	}
+	for i := 0; i < cfg.Channels; i++ {
+		chCfg := cfg.Channel
+		chCfg.Seed = int64(i + 1)
+		ch, err := flashchan.Mount(env, chCfg, state.channels[i])
+		if err != nil {
+			return nil, err
+		}
+		ch.SetLabel(fmt.Sprintf("chan%d", i))
+		d.channels = append(d.channels, ch)
+	}
+	return d, nil
+}
+
+// Recover runs every channel's mount-time scan in parallel — the
+// card's 44 engines each rebuild their own FTL — and returns the
+// per-channel reports, indexed by channel.
+func (d *Device) Recover(p *sim.Proc) ([]flashchan.RecoveryReport, error) {
+	end := d.beginOp(p, "sdf/recover")
+	defer end()
+	op := p.Span()
+	reports := make([]flashchan.RecoveryReport, len(d.channels))
+	errs := make([]error, len(d.channels))
+	var workers []*sim.Proc
+	for i := range d.channels {
+		ci := i
+		w := d.env.Go("sdf/recover", func(wp *sim.Proc) {
+			wp.SetSpan(op)
+			reports[ci], errs[ci] = d.channels[ci].Recover(wp)
+		})
+		workers = append(workers, w)
+	}
+	for _, w := range workers {
+		p.Join(w)
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: channel %d recovery: %w", i, err)
+		}
+	}
+	return reports, nil
+}
+
 // beginOp opens the root span of one device operation and reparents p
 // under it so every instrumented layer below attributes to this I/O.
 // The returned func restores p and closes the span; call it when the
@@ -210,16 +297,27 @@ func (d *Device) Read(p *sim.Proc, ch, lbn, off, size int) ([]byte, error) {
 // synchronous: it completes only when the flash program finishes
 // (SDF has no DRAM write cache; §2.2).
 func (d *Device) Write(p *sim.Proc, ch, lbn int, data []byte) error {
-	return d.write(p, ch, lbn, data, false)
+	return d.write(p, ch, lbn, data, false, nil)
 }
 
 // EraseWrite erases and then programs a logical block as one command,
 // the block layer's standard write path.
 func (d *Device) EraseWrite(p *sim.Proc, ch, lbn int, data []byte) error {
-	return d.write(p, ch, lbn, data, true)
+	return d.write(p, ch, lbn, data, true, nil)
 }
 
-func (d *Device) write(p *sim.Proc, ch, lbn int, data []byte, erase bool) error {
+// WriteTagged is Write with a 128-bit write ID stamped into the
+// out-of-band area of every page, for mount-time recovery.
+func (d *Device) WriteTagged(p *sim.Proc, ch, lbn int, data []byte, id flashchan.WriteID) error {
+	return d.write(p, ch, lbn, data, false, &id)
+}
+
+// EraseWriteTagged is EraseWrite with a write ID (see WriteTagged).
+func (d *Device) EraseWriteTagged(p *sim.Proc, ch, lbn int, data []byte, id flashchan.WriteID) error {
+	return d.write(p, ch, lbn, data, true, &id)
+}
+
+func (d *Device) write(p *sim.Proc, ch, lbn int, data []byte, erase bool, tag *flashchan.WriteID) error {
 	if err := d.checkChannel(ch); err != nil {
 		return err
 	}
@@ -235,9 +333,14 @@ func (d *Device) write(p *sim.Proc, ch, lbn int, data []byte, erase bool) error 
 	var chErr error
 	flash := d.env.Go("sdf/write", func(wp *sim.Proc) {
 		wp.SetSpan(op)
-		if erase {
+		switch {
+		case erase && tag != nil:
+			chErr = d.channels[ch].EraseWriteTagged(wp, lbn, data, *tag)
+		case erase:
 			chErr = d.channels[ch].EraseWrite(wp, lbn, data)
-		} else {
+		case tag != nil:
+			chErr = d.channels[ch].WriteTagged(wp, lbn, data, *tag)
+		default:
 			chErr = d.channels[ch].Write(wp, lbn, data)
 		}
 	})

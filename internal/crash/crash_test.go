@@ -1,0 +1,117 @@
+package crash
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// instants builds the oracle's crash schedule for one seed: uniform
+// instants across the horizon plus instants aimed inside program and
+// erase pulse windows from the crash-free profile, so the suite
+// provably covers mid-8 MB-write and mid-erase cuts.
+func instants(t *testing.T, cfg Config, uniform, inProg, inErase int) []time.Duration {
+	t.Helper()
+	prog, erase, err := Windows(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog) == 0 || len(erase) == 0 {
+		t.Fatalf("profile found %d program and %d erase windows; the workload must exercise both", len(prog), len(erase))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var at []time.Duration
+	span := cfg.Horizon - 2*time.Millisecond
+	for i := 0; i < uniform; i++ {
+		at = append(at, time.Millisecond+time.Duration(rng.Int63n(int64(span))))
+	}
+	pick := func(ws []Window, n int) {
+		// Background erases drain past the horizon; only windows whose
+		// aim point is a legal crash instant qualify.
+		var ok []time.Duration
+		for _, w := range ws {
+			if p := w.Instant(); p > 0 && p < cfg.Horizon {
+				ok = append(ok, p)
+			}
+		}
+		if len(ok) == 0 {
+			t.Fatalf("no pulse window inside the horizon")
+		}
+		for i := 0; i < n; i++ {
+			at = append(at, ok[i*len(ok)/n])
+		}
+	}
+	pick(prog, inProg)
+	pick(erase, inErase)
+	return at
+}
+
+// TestDurabilityOracle is the tentpole property test: >= 100 seeded
+// crash instants per run — including cuts inside NAND program and
+// erase pulses — each followed by a full remount and the
+// acknowledged-durability check. Any acked-but-lost, unacked-but-
+// visible, or corrupt read fails with the offending (seed, instant).
+func TestDurabilityOracle(t *testing.T) {
+	cfg := DefaultConfig(7)
+	at := instants(t, cfg, 60, 20, 20)
+	if len(at) < 100 {
+		t.Fatalf("only %d crash instants", len(at))
+	}
+	var torn, partial, acked int
+	for _, crashAt := range at {
+		out, err := CrashAndRecover(cfg, crashAt)
+		if err != nil {
+			t.Fatalf("seed %d: %v", cfg.Seed, err)
+		}
+		if out.Verified != out.Acked {
+			t.Fatalf("seed %d crash at %v: %d acked but %d verified", cfg.Seed, crashAt, out.Acked, out.Verified)
+		}
+		torn += out.Mount.TornDiscarded
+		partial += out.Mount.PartialErases
+		acked += out.Acked
+	}
+	// The schedule aims inside pulses, so across the suite both tear
+	// modes must actually occur — otherwise the windows (or the media
+	// model) regressed and the oracle is vacuous.
+	if torn == 0 {
+		t.Error("no crash instant produced a torn block")
+	}
+	if partial == 0 {
+		t.Error("no crash instant produced a partially erased block")
+	}
+	if acked == 0 {
+		t.Error("no crash instant had any acknowledged writes to verify")
+	}
+}
+
+// TestCrashDeterminism reruns a few crash instants and requires
+// byte-identical outcomes: same recovery stats, same virtual recovery
+// time, and the same post-recovery trace hash.
+func TestCrashDeterminism(t *testing.T) {
+	cfg := DefaultConfig(11)
+	prog, erase, err := Windows(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog) == 0 || len(erase) == 0 {
+		t.Fatalf("profile found %d program and %d erase windows", len(prog), len(erase))
+	}
+	at := []time.Duration{
+		17 * time.Millisecond,
+		prog[len(prog)/2].Instant(),
+		erase[len(erase)/3].Instant(),
+	}
+	for _, crashAt := range at {
+		a, err := CrashAndRecover(cfg, crashAt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := CrashAndRecover(cfg, crashAt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Errorf("crash at %v: outcomes differ between runs:\n  %+v\n  %+v", crashAt, a, b)
+		}
+	}
+}

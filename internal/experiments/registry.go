@@ -37,6 +37,7 @@ func Registry() []Entry {
 		{"placement", "future work: load-balanced write placement", FutureWorkPlacement},
 		{"activescan", "future work: in-storage filtered scan", FutureWorkActiveScan},
 		{"faults", "availability under injected faults", Faults},
+		{"recovery", "mount-time recovery scan vs fill level", Recovery},
 	}
 }
 

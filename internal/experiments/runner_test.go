@@ -12,7 +12,7 @@ import (
 // covering SDF, the conventional SSD, the cluster, and fault
 // injection) so the sequential-vs-parallel comparison stays fast
 // enough for `go test -race ./...` in CI.
-var runnerSubset = []string{"stack", "erase", "erasesched", "placement", "sdfop", "faults"}
+var runnerSubset = []string{"stack", "erase", "erasesched", "placement", "sdfop", "faults", "recovery"}
 
 func subsetEntries(t *testing.T) []Entry {
 	t.Helper()

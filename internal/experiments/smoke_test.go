@@ -36,3 +36,26 @@ func TestEraseThroughputTable(t *testing.T) {
 		t.Fatalf("unexpected cell: %q", tab.Rows[0][1])
 	}
 }
+
+func TestRecoveryTable(t *testing.T) {
+	tab := Recovery(quick)
+	checkTable(t, tab, len(recoveryFills))
+	// Every fill level must have ridden over real crash damage and
+	// recovered its seeded blocks.
+	for i, row := range tab.Rows {
+		if row[3] == "0" {
+			t.Errorf("fill %s: no torn blocks — the mid-write cut missed", row[0])
+		}
+		if row[2] == "0" {
+			t.Errorf("fill %s: nothing recovered", row[0])
+		}
+		if i > 0 && tab.Metrics[msKey(tab.Rows[i][0])] <= tab.Metrics[msKey(tab.Rows[i-1][0])] {
+			t.Errorf("recovery time did not grow from fill %s to %s", tab.Rows[i-1][0], tab.Rows[i][0])
+		}
+	}
+}
+
+// msKey maps a "NN%" fill cell to its recovery_ms metric key.
+func msKey(fill string) string {
+	return "recovery_ms_f" + fill[:len(fill)-1]
+}

@@ -10,9 +10,20 @@ import (
 )
 
 // AttachDevice registers an SDF device's fault surfaces under
-// "<name>/chan<i>" (channel kill/hang/bad-block/ECC targets) and
-// "<name>/pcie" (link degradation).
+// "<name>/chan<i>" (channel kill/hang/bad-block/ECC targets),
+// "<name>/pcie" (link degradation), and the bare "<name>" for whole-
+// device power loss.
 func AttachDevice(inj *Injector, name string, dev *core.Device) {
+	inj.Register(name, func(in Injection) func() {
+		if in.Kind == Powerloss {
+			// Permanent by definition at the device level: bringing the
+			// device back requires core.Mount plus the recovery scan,
+			// which the owner of the device state must drive (see
+			// cluster power hooks for the node-level restart path).
+			dev.PowerLoss()
+		}
+		return nil
+	})
 	for i := 0; i < dev.Channels(); i++ {
 		ch := dev.Channel(i)
 		inj.Register(fmt.Sprintf("%s/chan%d", name, i), func(in Injection) func() {
@@ -54,8 +65,8 @@ func AttachDevice(inj *Injector, name string, dev *core.Device) {
 }
 
 // AttachGroup registers every node of a replica group: the node name
-// itself takes node-crash/node-restart, and "<node>/nic" takes
-// link-degrade on the node's NIC.
+// itself takes node-crash/node-restart/powerloss, and "<node>/nic"
+// takes link-degrade on the node's NIC.
 func AttachGroup(inj *Injector, g *cluster.Group) {
 	for _, node := range g.Nodes() {
 		node := node
@@ -68,6 +79,11 @@ func AttachGroup(inj *Injector, g *cluster.Group) {
 				}
 			case NodeRestart:
 				g.RestartNode(node.Name)
+			case Powerloss:
+				g.PowerLossNode(node.Name)
+				if in.Duration > 0 {
+					return func() { g.RestartNode(node.Name) }
+				}
 			}
 			return nil
 		})

@@ -46,12 +46,28 @@ const (
 	NodeCrash Kind = "node-crash"
 	// NodeRestart explicitly restarts a crashed node.
 	NodeRestart Kind = "node-restart"
+	// Powerloss cuts power at the fire instant: a device target halts
+	// with its media frozen mid-operation (torn pages, partial
+	// erases); a node target additionally halts the node's journal
+	// and, with a Duration, restarts the node through the mount-time
+	// recovery path instead of a plain revive.
+	Powerloss Kind = "powerloss"
 )
 
 var kinds = map[Kind]bool{
 	ChannelKill: true, ChannelHang: true, GrownBadBlocks: true,
 	ECCBurst: true, LinkDegrade: true, PacketLoss: true,
-	NodeCrash: true, NodeRestart: true,
+	NodeCrash: true, NodeRestart: true, Powerloss: true,
+}
+
+// kindNames returns the valid kinds, sorted, for error messages.
+func kindNames() []string {
+	names := make([]string, 0, len(kinds))
+	for k := range kinds {
+		names = append(names, string(k))
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Injection is one scheduled fault.
@@ -87,7 +103,8 @@ type Plan struct {
 func (pl *Plan) Validate() error {
 	for i, in := range pl.Injections {
 		if !kinds[in.Kind] {
-			return fmt.Errorf("fault: injection %d: unknown kind %q", i, in.Kind)
+			return fmt.Errorf("fault: injection %d: unknown kind %q (valid kinds: %s)",
+				i, in.Kind, strings.Join(kindNames(), ", "))
 		}
 		if in.At < 0 {
 			return fmt.Errorf("fault: injection %d: negative time %v", i, in.At)
@@ -178,6 +195,10 @@ func (pl *Plan) String() string {
 			detail += fmt.Sprintf(", loss %.0f%%", in.Rate*100)
 		case NodeRestart:
 			detail = ""
+		case Powerloss:
+			if in.Duration > 0 {
+				detail = fmt.Sprintf("restart after %v", in.Duration)
+			}
 		}
 		rows = append(rows, []string{
 			"t=+" + in.At.String(), string(in.Kind), in.Target, detail,

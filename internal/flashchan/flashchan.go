@@ -40,6 +40,11 @@ var (
 	ErrChannelDead = errors.New("flashchan: channel engine offline")
 )
 
+// ErrPowerLoss resolves commands that were in flight when the channel
+// lost power (re-exported from the media model so upper layers need
+// not import nand).
+var ErrPowerLoss = nand.ErrPowerLoss
+
 // Config describes one channel.
 type Config struct {
 	Chips int         // NAND chips on the channel (2 on the SDF card)
@@ -68,6 +73,12 @@ type Config struct {
 	ECCSector int
 	ECCM      int
 	ECCT      int
+
+	// VerifyCRC checks each page read against the payload CRC the
+	// write path stored in the page's out-of-band area, after ECC
+	// correction. It catches corruption the BCH code miscorrects and
+	// is the crash harness's "never surface corrupt data" tripwire.
+	VerifyCRC bool
 
 	Seed int64
 }
@@ -132,6 +143,10 @@ type Channel struct {
 	code   *bch.Code
 	parity map[parityKey][][]byte
 	dead   bool // engine offline (injected fault); commands fail fast
+	// nextSeq is the per-channel write-command sequence number stamped
+	// into every page's out-of-band area. Recovery re-derives it as
+	// one past the highest sequence found on the media.
+	nextSeq uint64
 
 	bytesRead    int64
 	bytesWritten int64
@@ -151,10 +166,11 @@ func New(env *sim.Env, cfg Config) (*Channel, error) {
 		return nil, fmt.Errorf("flashchan: need at least one chip")
 	}
 	ch := &Channel{
-		cfg: cfg,
-		env: env,
-		bus: sim.NewLink(env, cfg.BusRate, cfg.BusOverhead),
-		mu:  sim.NewPriorityResource(env, 1),
+		cfg:     cfg,
+		env:     env,
+		bus:     sim.NewLink(env, cfg.BusRate, cfg.BusOverhead),
+		mu:      sim.NewPriorityResource(env, 1),
+		nextSeq: 1,
 	}
 	ch.SetLabel("chan")
 	for i := 0; i < cfg.Chips; i++ {
@@ -288,6 +304,19 @@ func (ch *Channel) Kill() { ch.dead = true }
 // (the failure was in the engine, not the cells), so reads of blocks
 // written before the kill succeed again.
 func (ch *Channel) Revive() { ch.dead = false }
+
+// PowerOff cuts power to the channel: the engine goes offline like
+// Kill (fail-fast ErrChannelDead, no virtual time) and every chip
+// records the cut instant, so in-flight programs and erases resolve
+// as torn pages and partially-erased blocks in the media. There is no
+// Revive from a power loss; recovery is Persistent + Mount + Recover
+// in a fresh environment.
+func (ch *Channel) PowerOff() {
+	ch.dead = true
+	for _, chip := range ch.chips {
+		chip.PowerOff()
+	}
+}
 
 // Alive reports whether the engine is serving commands.
 func (ch *Channel) Alive() bool { return !ch.dead }
@@ -496,6 +525,18 @@ func (ch *Channel) erasePlane(p *sim.Proc, pi, lbn int) error {
 // The four planes program in parallel, fed round-robin over the bus,
 // so throughput is program-limited (~23 MB/s per channel).
 func (ch *Channel) Write(p *sim.Proc, lbn int, data []byte) error {
+	return ch.write(p, lbn, data, nil)
+}
+
+// WriteTagged is Write with the caller's 128-bit write ID stamped
+// into every page's out-of-band area (§2.4's write-ID hashing). The
+// mount-time recovery scan returns tagged blocks with their IDs, so
+// the block layer can rebuild its ID-to-block map after power loss.
+func (ch *Channel) WriteTagged(p *sim.Proc, lbn int, data []byte, id WriteID) error {
+	return ch.write(p, lbn, data, &id)
+}
+
+func (ch *Channel) write(p *sim.Proc, lbn int, data []byte, tag *WriteID) error {
 	if err := ch.checkLBN(lbn); err != nil {
 		return err
 	}
@@ -510,10 +551,10 @@ func (ch *Channel) Write(p *sim.Proc, lbn int, data []byte) error {
 	if err := ch.checkAlive(); err != nil { // killed while queued
 		return err
 	}
-	return ch.writeLocked(p, lbn, data)
+	return ch.writeLocked(p, lbn, data, tag)
 }
 
-func (ch *Channel) writeLocked(p *sim.Proc, lbn int, data []byte) error {
+func (ch *Channel) writeLocked(p *sim.Proc, lbn int, data []byte, tag *WriteID) error {
 	for i := range ch.planes {
 		ps := &ch.planes[i]
 		phys, ok := ps.mapping[lbn]
@@ -524,6 +565,11 @@ func (ch *Channel) writeLocked(p *sim.Proc, lbn int, data []byte) error {
 	pageSize := ch.cfg.Nand.PageSize
 	pagesPerBlock := ch.cfg.Nand.PagesPerBlock
 	stripe := ch.stripeBytes()
+	// One sequence number per write command: all planes and pages of
+	// this logical block share it, so the recovery scan can tell a
+	// complete cross-plane generation from a torn one.
+	seq := ch.nextSeq
+	ch.nextSeq++
 	errs := make([]error, len(ch.planes))
 	parent := p.Span()
 	var workers []*sim.Proc
@@ -543,6 +589,7 @@ func (ch *Channel) writeLocked(p *sim.Proc, lbn int, data []byte) error {
 			// register, page pg+1 streams over the bus into the cache
 			// register, so sustained writes are program-limited.
 			pending := ch.transferAsync(pageSize, parent)
+			var bcrc uint32 // running fold of the page CRCs
 			for pg := 0; pg < pagesPerBlock; pg++ {
 				var payload []byte
 				if data != nil {
@@ -553,7 +600,9 @@ func (ch *Channel) writeLocked(p *sim.Proc, lbn int, data []byte) error {
 				if pg+1 < pagesPerBlock {
 					pending = ch.transferAsync(pageSize, parent)
 				}
-				if err := ps.plane.Program(wp, phys, pg, payload); err != nil {
+				oob, fold := makePageOOB(tag, seq, lbn, pg, pagesPerBlock, payload, bcrc)
+				bcrc = fold
+				if err := ps.plane.ProgramOOB(wp, phys, pg, payload, encodeOOB(oob)); err != nil {
 					errs[pi] = err
 					return
 				}
@@ -580,6 +629,16 @@ func (ch *Channel) writeLocked(p *sim.Proc, lbn int, data []byte) error {
 // EraseWrite performs the erase-before-write sequence as a single
 // channel command, the common path in Baidu's block layer (§2.3).
 func (ch *Channel) EraseWrite(p *sim.Proc, lbn int, data []byte) error {
+	return ch.eraseWrite(p, lbn, data, nil)
+}
+
+// EraseWriteTagged is EraseWrite with a write ID stamped into the
+// out-of-band area (see WriteTagged).
+func (ch *Channel) EraseWriteTagged(p *sim.Proc, lbn int, data []byte, id WriteID) error {
+	return ch.eraseWrite(p, lbn, data, &id)
+}
+
+func (ch *Channel) eraseWrite(p *sim.Proc, lbn int, data []byte, tag *WriteID) error {
 	if err := ch.checkLBN(lbn); err != nil {
 		return err
 	}
@@ -594,7 +653,7 @@ func (ch *Channel) EraseWrite(p *sim.Proc, lbn int, data []byte) error {
 	if err := ch.eraseLocked(p, lbn); err != nil {
 		return err
 	}
-	return ch.writeLocked(p, lbn, data)
+	return ch.writeLocked(p, lbn, data, tag)
 }
 
 // ReadAt reads size bytes at byte offset off within logical block lbn.
@@ -648,6 +707,11 @@ func (ch *Channel) ReadAt(p *sim.Proc, lbn int, off, size int) ([]byte, error) {
 		if ch.code != nil {
 			data, err = ch.correct(pi, phys, pg, data)
 			if err != nil {
+				return nil, err
+			}
+		}
+		if ch.cfg.VerifyCRC && data != nil {
+			if err := ch.verifyCRC(ps.plane, pi, phys, pg, data); err != nil {
 				return nil, err
 			}
 		}

@@ -8,6 +8,12 @@
 // operation serialization — and provides wear tracking, endurance-
 // driven bad-block conversion, and wear-dependent bit-error injection
 // for exercising the BCH path.
+//
+// Cell state lives in a Media object separable from the Chip: a chip
+// is the powered controller-facing view, the media is what the cells
+// retain across power loss. PowerOff halts a chip mid-operation
+// (tearing in-flight programs and erases); Mount rebuilds a fresh
+// chip over the surviving media in a new simulation environment.
 package nand
 
 import (
@@ -29,6 +35,8 @@ var (
 	ErrUnwritten  = errors.New("nand: reading an unwritten page")
 	ErrOutOfRange = errors.New("nand: address out of range")
 	ErrWornOut    = errors.New("nand: block exceeded its program/erase endurance")
+	ErrPowerLoss  = errors.New("nand: chip lost power")
+	ErrTornPage   = errors.New("nand: page program was cut by power loss")
 )
 
 // Params describes a chip's geometry, timing, and reliability model.
@@ -101,25 +109,64 @@ type block struct {
 	bad        bool
 }
 
+// planeMedia is one plane's persistent cell state: what the silicon
+// retains when power is cut.
+type planeMedia struct {
+	blocks []block
+	data   map[int64][]byte // pageIndex -> payload (RetainData mode)
+	spare  map[int64][]byte // pageIndex -> out-of-band recovery metadata
+	torn   map[int64]bool   // pages whose program pulse power loss cut
+	// interruptedErases counts erase pulses cut by power loss; the
+	// recovery scan reports them as partially-erased blocks.
+	interruptedErases int
+}
+
+// wipe clears one block's retained pages (payloads, spares, torn
+// marks), as an erase pulse does.
+func (pm *planeMedia) wipe(blockIdx, pagesPerBlock int) {
+	base := int64(blockIdx) * int64(pagesPerBlock)
+	for i := 0; i < pagesPerBlock; i++ {
+		if pm.data != nil {
+			delete(pm.data, base+int64(i))
+		}
+		delete(pm.spare, base+int64(i))
+		delete(pm.torn, base+int64(i))
+	}
+}
+
+// Media is a chip's persistent state. It survives Env teardown: after
+// a power loss, hand the Media of the dead chip to Mount to rebuild a
+// chip over the same cells in a fresh environment.
+type Media struct {
+	params Params
+	planes []*planeMedia
+}
+
+// Params returns the geometry the media was manufactured with.
+func (m *Media) Params() Params { return m.params }
+
 // Plane is an independently operable flash plane. At most one array
 // operation (read, program, erase) is active per plane at a time; the
 // page cache register lets the controller overlap the next array read
 // with the previous bus transfer, which the channel engine exploits.
 type Plane struct {
-	chip   *Chip
-	index  int
-	tl     *sim.Timeline
-	blocks []block
-	data   map[int64][]byte // pageIndex -> payload (RetainData mode)
+	chip  *Chip
+	index int
+	tl    *sim.Timeline
+	m     *planeMedia
 }
 
 // Chip is a NAND flash chip with Params.Planes independent planes.
 type Chip struct {
 	env      *sim.Env
 	params   Params
+	media    *Media
 	planes   []*Plane
 	rng      *rand.Rand
 	berBoost float64 // injected extra raw BER (uncorrectable-ECC bursts)
+
+	off   bool          // power has been cut
+	offAt time.Duration // instant the power died
 
 	reads    int64
 	programs int64
@@ -130,40 +177,72 @@ type Chip struct {
 // flash ships erased, but requiring an explicit initial erase keeps the
 // accounting uniform; FTLs erase blocks before first use anyway.
 func New(env *sim.Env, params Params) *Chip {
+	rng := rand.New(rand.NewSource(params.Seed))
+	m := &Media{params: params}
+	for i := 0; i < params.Planes; i++ {
+		pm := &planeMedia{
+			blocks: make([]block, params.BlocksPerPlane),
+			spare:  make(map[int64][]byte),
+			torn:   make(map[int64]bool),
+		}
+		if params.RetainData {
+			pm.data = make(map[int64][]byte)
+		}
+		for b := range pm.blocks {
+			pm.blocks[b].writePtr = -1
+			pm.blocks[b].endurance = sampleEndurance(params, rng)
+			if params.InitialBadPPM > 0 && rng.Intn(1_000_000) < params.InitialBadPPM {
+				pm.blocks[b].bad = true
+			}
+		}
+		m.planes = append(m.planes, pm)
+	}
+	return mount(env, params, m, rng)
+}
+
+// Mount rebuilds a chip over media that survived a power loss, in a
+// fresh environment. Geometry must match the media's; endurance and
+// bad-block state are not re-sampled — they live in the media. The
+// error-injection RNG restarts from Seed, which is itself
+// deterministic: the same pre-crash run plus the same crash instant
+// replays to the same post-mount error stream.
+func Mount(env *sim.Env, params Params, m *Media) (*Chip, error) {
+	mp := m.params
+	if mp.PageSize != params.PageSize || mp.PagesPerBlock != params.PagesPerBlock ||
+		mp.BlocksPerPlane != params.BlocksPerPlane || mp.Planes != params.Planes ||
+		mp.RetainData != params.RetainData {
+		return nil, fmt.Errorf("nand: mount geometry mismatch: media %dx%dx%d planes=%d data=%v, params %dx%dx%d planes=%d data=%v",
+			mp.PageSize, mp.PagesPerBlock, mp.BlocksPerPlane, mp.Planes, mp.RetainData,
+			params.PageSize, params.PagesPerBlock, params.BlocksPerPlane, params.Planes, params.RetainData)
+	}
+	return mount(env, params, m, rand.New(rand.NewSource(params.Seed))), nil
+}
+
+func mount(env *sim.Env, params Params, m *Media, rng *rand.Rand) *Chip {
 	c := &Chip{
 		env:    env,
 		params: params,
-		rng:    rand.New(rand.NewSource(params.Seed)),
+		media:  m,
+		rng:    rng,
 	}
 	for i := 0; i < params.Planes; i++ {
-		pl := &Plane{
-			chip:   c,
-			index:  i,
-			tl:     sim.NewTimeline(env, 1),
-			blocks: make([]block, params.BlocksPerPlane),
-		}
-		if params.RetainData {
-			pl.data = make(map[int64][]byte)
-		}
-		for b := range pl.blocks {
-			pl.blocks[b].writePtr = -1
-			pl.blocks[b].endurance = c.sampleEndurance()
-			if params.InitialBadPPM > 0 && c.rng.Intn(1_000_000) < params.InitialBadPPM {
-				pl.blocks[b].bad = true
-			}
-		}
-		c.planes = append(c.planes, pl)
+		c.planes = append(c.planes, &Plane{
+			chip:  c,
+			index: i,
+			tl:    sim.NewTimeline(env, 1),
+			m:     m.planes[i],
+		})
 	}
 	return c
 }
 
 // sampleEndurance draws a per-block endurance around EraseLimit
 // (normal, sigma = 10%), reflecting process variation.
-func (c *Chip) sampleEndurance() int {
-	if c.params.EraseLimit <= 0 {
+func sampleEndurance(params Params, rng *rand.Rand) int {
+	if params.EraseLimit <= 0 {
 		return math.MaxInt
 	}
-	e := float64(c.params.EraseLimit) * (1 + 0.1*c.rng.NormFloat64())
+	e := float64(params.EraseLimit) * (1 + 0.1*rng.NormFloat64())
 	if e < 1 {
 		e = 1
 	}
@@ -172,6 +251,29 @@ func (c *Chip) sampleEndurance() int {
 
 // Params returns the chip's construction parameters.
 func (c *Chip) Params() Params { return c.params }
+
+// Media returns the chip's persistent cell state, for handing to
+// Mount after a power loss.
+func (c *Chip) Media() *Media { return c.media }
+
+// PowerOff cuts the chip's power at the current instant; there is no
+// power-on — recovery is by Mount-ing the Media into a fresh chip.
+// Operations already past their admission check resolve when their
+// array pulse would have completed: a program whose pulse had begun
+// leaves a torn page (counted in the write pointer, no payload or
+// spare retained, reads as ErrTornPage after remount), an erase
+// mid-pulse leaves a partially-erased block (wear charged, retained
+// pages gone, block needs a fresh erase). Pulses that had not started
+// leave no trace. All resolutions return ErrPowerLoss.
+func (c *Chip) PowerOff() {
+	if !c.off {
+		c.off = true
+		c.offAt = c.env.Now()
+	}
+}
+
+// PoweredOff reports whether the chip's power has been cut.
+func (c *Chip) PoweredOff() bool { return c.off }
 
 // SetBERBoost adds an extra raw bit error rate on top of the wear
 // model, independent of RetainData. Fault plans use it to simulate an
@@ -200,8 +302,8 @@ func (c *Chip) Counters() (reads, programs, erases int64) {
 }
 
 func (pl *Plane) checkAddr(blockIdx, page int) error {
-	if blockIdx < 0 || blockIdx >= len(pl.blocks) {
-		return fmt.Errorf("%w: block %d of %d", ErrOutOfRange, blockIdx, len(pl.blocks))
+	if blockIdx < 0 || blockIdx >= len(pl.m.blocks) {
+		return fmt.Errorf("%w: block %d of %d", ErrOutOfRange, blockIdx, len(pl.m.blocks))
 	}
 	if page < 0 || page >= pl.chip.params.PagesPerBlock {
 		return fmt.Errorf("%w: page %d of %d", ErrOutOfRange, page, pl.chip.params.PagesPerBlock)
@@ -220,16 +322,25 @@ func (pl *Plane) ReadPage(p *sim.Proc, blockIdx, page int) ([]byte, error) {
 	if err := pl.checkAddr(blockIdx, page); err != nil {
 		return nil, err
 	}
-	b := &pl.blocks[blockIdx]
+	if pl.chip.off {
+		return nil, fmt.Errorf("%w: plane %d", ErrPowerLoss, pl.index)
+	}
+	b := &pl.m.blocks[blockIdx]
 	if page >= b.writePtr {
 		return nil, fmt.Errorf("%w: plane %d block %d page %d", ErrUnwritten, pl.index, blockIdx, page)
 	}
 	pl.tl.Occupy(p, pl.chip.params.TRead)
+	if pl.chip.off {
+		return nil, fmt.Errorf("%w: plane %d", ErrPowerLoss, pl.index)
+	}
+	if pl.m.torn[pl.pageIndex(blockIdx, page)] {
+		return nil, fmt.Errorf("%w: plane %d block %d page %d", ErrTornPage, pl.index, blockIdx, page)
+	}
 	pl.chip.reads++
-	if pl.data == nil {
+	if pl.m.data == nil {
 		return nil, nil
 	}
-	stored := pl.data[pl.pageIndex(blockIdx, page)]
+	stored := pl.m.data[pl.pageIndex(blockIdx, page)]
 	out := append([]byte(nil), stored...)
 	pl.injectErrors(out, b.eraseCount)
 	return out, nil
@@ -277,10 +388,21 @@ func poisson(rng *rand.Rand, lambda float64) int {
 // block must be programmed strictly in order into an erased block, as
 // on real NAND. data may be nil in timing-only mode.
 func (pl *Plane) Program(p *sim.Proc, blockIdx, page int, data []byte) error {
+	return pl.ProgramOOB(p, blockIdx, page, data, nil)
+}
+
+// ProgramOOB writes one page plus its out-of-band spare-area bytes —
+// the channel FTL's recovery metadata (write ID, sequence, CRC). The
+// spare is programmed in the same pulse as the page, so power loss
+// either retains both or tears both; a torn page retains neither.
+func (pl *Plane) ProgramOOB(p *sim.Proc, blockIdx, page int, data, spare []byte) error {
 	if err := pl.checkAddr(blockIdx, page); err != nil {
 		return err
 	}
-	b := &pl.blocks[blockIdx]
+	if pl.chip.off {
+		return fmt.Errorf("%w: plane %d", ErrPowerLoss, pl.index)
+	}
+	b := &pl.m.blocks[blockIdx]
 	if b.bad {
 		return fmt.Errorf("%w: plane %d block %d", ErrBadBlock, pl.index, blockIdx)
 	}
@@ -295,10 +417,24 @@ func (pl *Plane) Program(p *sim.Proc, blockIdx, page int, data []byte) error {
 		return fmt.Errorf("nand: program payload %d bytes, want %d", len(data), pl.chip.params.PageSize)
 	}
 	pl.tl.Occupy(p, pl.chip.params.TProg)
+	if pl.chip.off {
+		// The plane timeline put this pulse at [Now-TProg, Now). If it
+		// began before the power died, the cells saw a partial pulse:
+		// the page is torn — occupied but unreadable. Otherwise the
+		// pulse never started and the block is untouched.
+		if pl.chip.env.Now()-pl.chip.params.TProg < pl.chip.offAt {
+			b.writePtr++
+			pl.m.torn[pl.pageIndex(blockIdx, page)] = true
+		}
+		return fmt.Errorf("%w: plane %d block %d page %d", ErrPowerLoss, pl.index, blockIdx, page)
+	}
 	b.writePtr++
 	pl.chip.programs++
-	if pl.data != nil && data != nil {
-		pl.data[pl.pageIndex(blockIdx, page)] = append([]byte(nil), data...)
+	if pl.m.data != nil && data != nil {
+		pl.m.data[pl.pageIndex(blockIdx, page)] = append([]byte(nil), data...)
+	}
+	if spare != nil {
+		pl.m.spare[pl.pageIndex(blockIdx, page)] = append([]byte(nil), spare...)
 	}
 	return nil
 }
@@ -310,22 +446,36 @@ func (pl *Plane) Erase(p *sim.Proc, blockIdx int) error {
 	if err := pl.checkAddr(blockIdx, 0); err != nil {
 		return err
 	}
-	b := &pl.blocks[blockIdx]
+	b := &pl.m.blocks[blockIdx]
 	if b.bad {
 		return fmt.Errorf("%w: plane %d block %d", ErrBadBlock, pl.index, blockIdx)
+	}
+	if pl.chip.off {
+		return fmt.Errorf("%w: plane %d", ErrPowerLoss, pl.index)
 	}
 	env := pl.chip.env
 	span := env.Tracer().Begin(env.Now(), p.Span(), "nand/erase", trace.PhaseFlash)
 	pl.tl.Occupy(p, pl.chip.params.TErase)
 	env.Tracer().End(env.Now(), span)
+	if pl.chip.off {
+		// Pulse at [Now-TErase, Now): if it began before the power
+		// died, the cells are partially erased — retained pages are
+		// gone, wear is charged, and the block needs a fresh erase
+		// before reuse. A pulse that never started leaves no trace.
+		if env.Now()-pl.chip.params.TErase < pl.chip.offAt {
+			b.eraseCount++
+			pl.m.wipe(blockIdx, pl.chip.params.PagesPerBlock)
+			b.writePtr = -1
+			pl.m.interruptedErases++
+			if b.eraseCount > b.endurance {
+				b.bad = true
+			}
+		}
+		return fmt.Errorf("%w: plane %d block %d", ErrPowerLoss, pl.index, blockIdx)
+	}
 	pl.chip.erases++
 	b.eraseCount++
-	if pl.data != nil {
-		base := pl.pageIndex(blockIdx, 0)
-		for i := 0; i < pl.chip.params.PagesPerBlock; i++ {
-			delete(pl.data, base+int64(i))
-		}
-	}
+	pl.m.wipe(blockIdx, pl.chip.params.PagesPerBlock)
 	if b.eraseCount > b.endurance {
 		b.bad = true
 		b.writePtr = -1
@@ -348,10 +498,10 @@ func (pl *Plane) Preload(blockIdx, pageCount int) error {
 	if pageCount < 0 || pageCount > pl.chip.params.PagesPerBlock {
 		return fmt.Errorf("%w: preload %d pages", ErrOutOfRange, pageCount)
 	}
-	if pl.data != nil {
+	if pl.m.data != nil {
 		return errors.New("nand: Preload is incompatible with RetainData")
 	}
-	b := &pl.blocks[blockIdx]
+	b := &pl.m.blocks[blockIdx]
 	if b.bad {
 		return fmt.Errorf("%w: plane %d block %d", ErrBadBlock, pl.index, blockIdx)
 	}
@@ -359,25 +509,76 @@ func (pl *Plane) Preload(blockIdx, pageCount int) error {
 	return nil
 }
 
+// PreloadSpares marks a block as erased with its first len(spares)
+// pages programmed and carrying the given out-of-band bytes, in zero
+// simulated time and without payloads (timing-only mode, like
+// Preload). The recovery experiment uses it to stage a pre-crash fill
+// whose mount-time scan finds real metadata, without simulating the
+// fill traffic.
+func (pl *Plane) PreloadSpares(blockIdx int, spares [][]byte) error {
+	if err := pl.checkAddr(blockIdx, 0); err != nil {
+		return err
+	}
+	if len(spares) > pl.chip.params.PagesPerBlock {
+		return fmt.Errorf("%w: preload %d spares", ErrOutOfRange, len(spares))
+	}
+	if pl.m.data != nil {
+		return errors.New("nand: PreloadSpares is incompatible with RetainData")
+	}
+	b := &pl.m.blocks[blockIdx]
+	if b.bad {
+		return fmt.Errorf("%w: plane %d block %d", ErrBadBlock, pl.index, blockIdx)
+	}
+	pl.m.wipe(blockIdx, pl.chip.params.PagesPerBlock)
+	b.writePtr = len(spares)
+	for i, sp := range spares {
+		pl.m.spare[pl.pageIndex(blockIdx, i)] = append([]byte(nil), sp...)
+	}
+	return nil
+}
+
+// Spare returns the out-of-band bytes programmed with a page, or nil
+// if the page is unwritten, torn, or carries no metadata. It costs no
+// simulated time: recovery scans charge their own probe timing in
+// bulk (flashchan.Recover).
+func (pl *Plane) Spare(blockIdx, page int) []byte {
+	if err := pl.checkAddr(blockIdx, page); err != nil {
+		return nil
+	}
+	return append([]byte(nil), pl.m.spare[pl.pageIndex(blockIdx, page)]...)
+}
+
+// Torn reports whether a page's program pulse was cut by power loss.
+func (pl *Plane) Torn(blockIdx, page int) bool {
+	if err := pl.checkAddr(blockIdx, page); err != nil {
+		return false
+	}
+	return pl.m.torn[pl.pageIndex(blockIdx, page)]
+}
+
+// InterruptedErases returns how many erase pulses power loss has cut
+// on this plane.
+func (pl *Plane) InterruptedErases() int { return pl.m.interruptedErases }
+
 // EraseCount returns a block's cumulative program/erase cycles.
-func (pl *Plane) EraseCount(blockIdx int) int { return pl.blocks[blockIdx].eraseCount }
+func (pl *Plane) EraseCount(blockIdx int) int { return pl.m.blocks[blockIdx].eraseCount }
 
 // Bad reports whether a block is marked bad.
-func (pl *Plane) Bad(blockIdx int) bool { return pl.blocks[blockIdx].bad }
+func (pl *Plane) Bad(blockIdx int) bool { return pl.m.blocks[blockIdx].bad }
 
 // MarkBad retires a block explicitly (e.g. after persistent program
 // failures observed by the controller).
-func (pl *Plane) MarkBad(blockIdx int) { pl.blocks[blockIdx].bad = true }
+func (pl *Plane) MarkBad(blockIdx int) { pl.m.blocks[blockIdx].bad = true }
 
 // WritePtr returns the next programmable page index of a block, or -1
 // if the block needs an erase first.
-func (pl *Plane) WritePtr(blockIdx int) int { return pl.blocks[blockIdx].writePtr }
+func (pl *Plane) WritePtr(blockIdx int) int { return pl.m.blocks[blockIdx].writePtr }
 
 // BadBlocks returns the number of bad blocks in the plane.
 func (pl *Plane) BadBlocks() int {
 	n := 0
-	for i := range pl.blocks {
-		if pl.blocks[i].bad {
+	for i := range pl.m.blocks {
+		if pl.m.blocks[i].bad {
 			n++
 		}
 	}
@@ -387,13 +588,17 @@ func (pl *Plane) BadBlocks() int {
 // MaxWear returns the highest erase count in the plane.
 func (pl *Plane) MaxWear() int {
 	max := 0
-	for i := range pl.blocks {
-		if pl.blocks[i].eraseCount > max {
-			max = pl.blocks[i].eraseCount
+	for i := range pl.m.blocks {
+		if pl.m.blocks[i].eraseCount > max {
+			max = pl.m.blocks[i].eraseCount
 		}
 	}
 	return max
 }
 
 // Blocks returns the number of blocks in the plane.
-func (pl *Plane) Blocks() int { return len(pl.blocks) }
+func (pl *Plane) Blocks() int { return len(pl.m.blocks) }
+
+// Timeline returns the plane's occupancy timeline (the channel
+// recovery scan charges bulk probe time on it).
+func (pl *Plane) Timeline() *sim.Timeline { return pl.tl }

@@ -33,6 +33,7 @@ var phaseRank = map[string]int{
 	PhaseBus:      3,
 	PhaseFlash:    4,
 	PhaseFault:    5,
+	PhaseRecovery: 6,
 }
 
 // Summarize pairs span begin/end events and aggregates their

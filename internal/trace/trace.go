@@ -99,6 +99,11 @@ const (
 	// availability run lost time to faults rather than to the normal
 	// pipeline.
 	PhaseFault = "fault"
+	// PhaseRecovery is mount-time recovery work after a power loss:
+	// channel OOB scans, block-map rebuilds, and CCDB journal replay.
+	// It is kept distinct from PhaseFault so the breakdown separates
+	// the cost of coming back from the cost of being degraded.
+	PhaseRecovery = "recovery"
 )
 
 // SpanID identifies a span; 0 means "no span" (used as the parent of
