@@ -20,9 +20,11 @@ race:
 	$(GO) test -race ./...
 
 # lint runs sdflint, the determinism static-analysis suite
-# (see DESIGN.md "Determinism rules" and internal/lint).
+# (see DESIGN.md "Determinism rules" and "Whole-program analysis",
+# internal/lint). The SARIF report feeds code-scanning UIs; CI
+# uploads it as an artifact.
 lint:
-	$(GO) run ./cmd/sdflint ./...
+	$(GO) run ./cmd/sdflint -sarif sdflint.sarif ./...
 
 # trace-smoke runs one traced experiment twice and requires the trace
 # files to be byte-identical — the end-to-end form of the determinism

@@ -1,18 +1,29 @@
 // Command sdflint checks the module against the determinism rules
-// described in DESIGN.md ("Determinism rules"): no wall-clock time in
-// simulation code, no global math/rand, no goroutines outside the
-// deterministic scheduler, no map iteration feeding ordered output.
+// described in DESIGN.md ("Determinism rules" and "Whole-program
+// analysis"): no wall-clock time in simulation code, no global
+// math/rand, no goroutines outside the deterministic scheduler, no
+// map iteration feeding ordered output — and, over a whole-module
+// call graph, no blocking reachable from scheduler callbacks, no
+// leaked trace spans, no dropped crash-consistency-critical errors,
+// no racing selects or escaped spawns, no stale suppressions.
 //
 // Usage:
 //
 //	go run ./cmd/sdflint ./...
 //	go run ./cmd/sdflint ./internal/ssd ./internal/ccdb/...
 //	go run ./cmd/sdflint -list
+//	go run ./cmd/sdflint -json ./...
+//	go run ./cmd/sdflint -sarif sdflint.sarif ./...
+//	go run ./cmd/sdflint -fix ./...
 //
-// Findings print as "file:line: [analyzer] message". Exit status is 0
-// for a clean tree, 1 when findings were reported, 2 on usage or load
-// errors. Individual lines can be waived with a mandatory-reason
-// suppression comment: //sdflint:allow <analyzer> <reason>.
+// Findings print as "file:line: [analyzer] message" (or as JSON with
+// -json; -sarif additionally writes a SARIF 2.1.0 report). -fix
+// applies the safe suggested edits — deleting stale //sdflint:allow
+// directives, wrapping dropped critical errors in an error return —
+// and re-checks. Exit status is 0 for a clean tree, 1 when findings
+// were reported, 2 on usage or load errors. Individual lines can be
+// waived with a mandatory-reason suppression comment:
+// //sdflint:allow <analyzer> <reason>.
 package main
 
 import (

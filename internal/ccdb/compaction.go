@@ -68,6 +68,7 @@ func (s *Slice) compactTier(p *sim.Proc, tier int) bool {
 	for _, r := range inputs {
 		var entries []Entry
 		for _, pt := range r {
+			//sdflint:allow errdrop a failed patch read degrades its entries to index-only; compaction must merge what it can, not abort on media faults
 			data, _ := s.readPatchAll(p, pt)
 			for i, k := range pt.keys {
 				e := Entry{Key: k, Size: pt.sizes[i]}

@@ -362,6 +362,7 @@ func (s *Slice) unpin(pt *patch) {
 	pt.pins--
 	if pt.dead && pt.pins == 0 {
 		s.env.Go("ccdb/free", func(p *sim.Proc) {
+			//sdflint:allow errdrop the manifest del is already durable; a failed free leaves an orphan the next mount's replay reclaims
 			_ = s.store.Free(p, pt.ref)
 		})
 		s.stats.PatchesFreed++
@@ -375,6 +376,7 @@ func (s *Slice) retire(p *sim.Proc, pt *patch) {
 	s.cfg.Journal.appendDel(pt.ref)
 	pt.dead = true
 	if pt.pins == 0 {
+		//sdflint:allow errdrop the manifest del is already durable; a failed free leaves an orphan the next mount's replay reclaims
 		_ = s.store.Free(p, pt.ref)
 		s.stats.PatchesFreed++
 	}

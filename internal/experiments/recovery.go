@@ -64,6 +64,7 @@ func recoveryCycle(opts Options, fill int) recoveryRun {
 		c := c
 		env.Go("recovery/torn-writer", func(p *sim.Proc) {
 			id := flashchan.WriteID{Lo: uint64(perChan*dev.Channels() + c)}
+			//sdflint:allow errdrop the scheduled power cut tears this write on purpose; the mount-time scan below is what the experiment measures
 			dev.EraseWriteTagged(p, c, perChan, nil, id)
 		})
 	}

@@ -604,6 +604,7 @@ func (ch *Channel) writeLocked(p *sim.Proc, lbn int, data []byte, tag *WriteID) 
 				bcrc = fold
 				if err := ps.plane.ProgramOOB(wp, phys, pg, payload, encodeOOB(oob)); err != nil {
 					errs[pi] = err
+					t.End(ch.env.Now(), span)
 					return
 				}
 				if ch.parity != nil && payload != nil {
@@ -701,6 +702,7 @@ func (ch *Channel) ReadAt(p *sim.Proc, lbn int, off, size int) ([]byte, error) {
 		span := t.Begin(ch.env.Now(), parent, "nand/read", trace.PhaseFlash)
 		data, err := ps.plane.ReadPage(p, phys, pg)
 		if err != nil {
+			t.End(ch.env.Now(), span)
 			return nil, err
 		}
 		t.End(ch.env.Now(), span)

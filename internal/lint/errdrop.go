@@ -1,0 +1,209 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// errDropPkgSuffixes names the crash-consistency-critical packages
+// (module-relative): the CCDB journal/WAL and storage path, raw NAND
+// media persistence, the flash-channel recovery machinery, and the
+// device layer that fronts them. The whole acked==journaled contract
+// (DESIGN.md "Crash consistency & recovery") flows through the error
+// results of these packages' APIs: a dropped error here means an
+// unacknowledged-but-assumed write, a torn block treated as durable,
+// or a recovery scan that silently lost state.
+var errDropPkgSuffixes = []string{
+	"internal/ccdb",
+	"internal/nand",
+	"internal/flashchan",
+	"internal/core",
+}
+
+// ErrDrop flags discarded error results from the critical packages: a
+// call used as a bare statement, spawned via go/defer, or assigned
+// with the error position blanked (`_ =`, `v, _ :=`). Errors that are
+// bound to a variable are out of scope — whether the variable is then
+// handled sensibly is a judgment the reviewer makes, not this tool.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "forbid discarding error results from ccdb/nand/flashchan/core persistence APIs",
+	Applies: func(f *File) bool {
+		return !f.IsTest() && f.In("internal")
+	},
+	Run: runErrDrop,
+}
+
+func runErrDrop(f *File) []Finding {
+	var findings []Finding
+	m := f.Module
+	report := func(call *ast.CallExpr, how string, fix *textFix) {
+		fn := criticalErrFunc(m, call)
+		if fn == nil {
+			return
+		}
+		fd := f.finding("errdrop", call.Pos(),
+			"%s discards the error from %s.%s; the crash-consistency contract "+
+				"(acked == journaled, DESIGN.md §11) depends on these errors being "+
+				"handled — check it, or waive with //sdflint:allow errdrop <reason>",
+			how, fn.Pkg().Name(), fn.Name())
+		fd.fix = fix
+		findings = append(findings, fd)
+	}
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok {
+				// Keep descending: function literals in the call's
+				// arguments carry statements of their own.
+				report(call, "call statement", errDropFix(f, call))
+			}
+		case *ast.GoStmt:
+			report(st.Call, "go statement", nil)
+		case *ast.DeferStmt:
+			report(st.Call, "defer statement", nil)
+		case *ast.AssignStmt:
+			findings = append(findings, checkErrAssign(f, st)...)
+		}
+		return true
+	})
+	return findings
+}
+
+// checkErrAssign flags assignments that blank the error position of a
+// critical call: `_ = f()`, `v, _ := g()`.
+func checkErrAssign(f *File, as *ast.AssignStmt) []Finding {
+	var findings []Finding
+	m := f.Module
+	// Multi-value form: one call, results spread over the LHS.
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return nil
+		}
+		fn := criticalErrFunc(m, call)
+		if fn == nil {
+			return nil
+		}
+		if id, ok := as.Lhs[len(as.Lhs)-1].(*ast.Ident); ok && id.Name == "_" {
+			findings = append(findings, f.finding("errdrop", call.Pos(),
+				"assignment blanks the error from %s.%s; the crash-consistency contract "+
+					"(acked == journaled, DESIGN.md §11) depends on these errors being "+
+					"handled — bind and check it, or waive with //sdflint:allow errdrop <reason>",
+				fn.Pkg().Name(), fn.Name()))
+		}
+		return findings
+	}
+	// Parallel form: position i of the LHS matches position i of the RHS.
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || i >= len(as.Lhs) {
+			continue
+		}
+		fn := criticalErrFunc(m, call)
+		if fn == nil {
+			continue
+		}
+		if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+			findings = append(findings, f.finding("errdrop", call.Pos(),
+				"assignment blanks the error from %s.%s; the crash-consistency contract "+
+					"(acked == journaled, DESIGN.md §11) depends on these errors being "+
+					"handled — bind and check it, or waive with //sdflint:allow errdrop <reason>",
+				fn.Pkg().Name(), fn.Name()))
+		}
+	}
+	return findings
+}
+
+// criticalErrFunc resolves a call to a function in one of the critical
+// packages whose final result is an error, or nil.
+func criticalErrFunc(m *Module, call *ast.CallExpr) *types.Func {
+	var fn *types.Func
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ = m.objectOf(fun).(*types.Func)
+	case *ast.SelectorExpr:
+		if sel, ok := m.Info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			fn, _ = sel.Obj().(*types.Func)
+		} else {
+			fn, _ = m.objectOf(fun.Sel).(*types.Func)
+		}
+	}
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	path := fn.Pkg().Path()
+	critical := false
+	for _, suffix := range errDropPkgSuffixes {
+		if strings.HasSuffix(path, suffix) {
+			critical = true
+			break
+		}
+	}
+	if !critical {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return nil
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	if named, ok := last.(*types.Named); !ok || named.Obj().Name() != "error" || named.Obj().Pkg() != nil {
+		return nil
+	}
+	return fn
+}
+
+// errDropFix builds the safe suggested edit for a bare call statement
+// whose enclosing function returns exactly one error: wrap the call in
+// `if err := ...; err != nil { return err }`. Any other shape gets no
+// automatic fix — inventing zero values for extra results is not
+// "safe".
+func errDropFix(f *File, call *ast.CallExpr) *textFix {
+	encl := enclosingFuncType(f, call.Pos())
+	if encl == nil || encl.Results == nil || len(encl.Results.List) != 1 {
+		return nil
+	}
+	res := encl.Results.List[0]
+	if len(res.Names) > 1 {
+		return nil
+	}
+	if id, ok := res.Type.(*ast.Ident); !ok || id.Name != "error" {
+		return nil
+	}
+	start := f.Module.Fset.Position(call.Pos())
+	end := f.Module.Fset.Position(call.End())
+	if start.Offset < 0 || end.Offset <= start.Offset {
+		return nil
+	}
+	// The replacement is assembled at apply time from the file's own
+	// bytes: the call text is spliced into the wrapper, and the inner
+	// lines reuse the statement's own indentation plus one tab.
+	return &textFix{
+		path:  f.Path,
+		start: start.Offset,
+		end:   end.Offset,
+		kind:  fixWrapErrReturn,
+	}
+}
+
+// enclosingFuncType returns the type of the innermost function
+// declaration or literal containing pos.
+func enclosingFuncType(f *File, pos token.Pos) *ast.FuncType {
+	var found *ast.FuncType
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		if n == nil || !posWithin(pos, n) {
+			return false
+		}
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			found = fn.Type
+		case *ast.FuncLit:
+			found = fn.Type
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// A fixKind selects how a textFix's replacement is assembled at apply
+// time. Fix construction stores only offsets; the replacement text is
+// derived from the file's own bytes when the edit is applied, so a fix
+// can never splice in content that was not already in the tree.
+type fixKind int
+
+const (
+	// fixDeleteDirective removes a stale //sdflint:allow comment. When
+	// the comment is alone on its line the whole line goes; when it
+	// trails code, the comment and the spacing before it go.
+	fixDeleteDirective fixKind = iota
+	// fixWrapErrReturn rewrites a bare critical call `f(...)` into
+	// `if err := f(...); err != nil { return err }`, reusing the
+	// statement's own indentation. Only offered when the enclosing
+	// function returns exactly one error (see errDropFix).
+	fixWrapErrReturn
+)
+
+// A textFix is one safe suggested edit: replace data[start:end] of the
+// named file according to kind.
+type textFix struct {
+	path       string // slash-separated, module-root-relative
+	start, end int    // byte offsets into the original file
+	kind       fixKind
+}
+
+// ApplyFixes applies every fix attached to the findings, grouping by
+// file and editing in descending offset order so earlier offsets stay
+// valid. Overlapping edits keep only the later-offset one. It returns
+// the number of edits applied.
+func ApplyFixes(root string, findings []Finding) (int, error) {
+	byFile := make(map[string][]*textFix)
+	for i := range findings {
+		if fx := findings[i].fix; fx != nil {
+			byFile[fx.path] = append(byFile[fx.path], fx)
+		}
+	}
+	paths := make([]string, 0, len(byFile))
+	for p := range byFile {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	applied := 0
+	for _, p := range paths {
+		fixes := byFile[p]
+		sort.Slice(fixes, func(i, j int) bool { return fixes[i].start > fixes[j].start })
+		full := filepath.Join(root, filepath.FromSlash(p))
+		data, err := os.ReadFile(full)
+		if err != nil {
+			return applied, err
+		}
+		prevStart := len(data) + 1
+		n := 0
+		for _, fx := range fixes {
+			if fx.start < 0 || fx.end > len(data) || fx.start >= fx.end || fx.end > prevStart {
+				continue
+			}
+			start, end := fx.start, fx.end
+			var repl []byte
+			switch fx.kind {
+			case fixDeleteDirective:
+				start, end = expandDeletion(data, start, end)
+			case fixWrapErrReturn:
+				call := string(data[start:end])
+				indent := lineIndent(data, start)
+				repl = []byte("if err := " + call + "; err != nil {\n" +
+					indent + "\treturn err\n" + indent + "}")
+			}
+			out := make([]byte, 0, len(data)-(end-start)+len(repl))
+			out = append(out, data[:start]...)
+			out = append(out, repl...)
+			out = append(out, data[end:]...)
+			data = out
+			prevStart = start
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		if err := os.WriteFile(full, data, 0o644); err != nil {
+			return applied, err
+		}
+		applied += n
+	}
+	return applied, nil
+}
+
+// expandDeletion widens a comment's byte range for removal: to the
+// whole line (newline included) when only whitespace surrounds it, or
+// to also swallow the spacing before a trailing comment.
+func expandDeletion(data []byte, start, end int) (int, int) {
+	ls := start
+	for ls > 0 && data[ls-1] != '\n' {
+		ls--
+	}
+	aloneBefore := true
+	for i := ls; i < start; i++ {
+		if data[i] != ' ' && data[i] != '\t' {
+			aloneBefore = false
+			break
+		}
+	}
+	le := end
+	for le < len(data) && (data[le] == ' ' || data[le] == '\t') {
+		le++
+	}
+	atEOL := le >= len(data) || data[le] == '\n'
+	if aloneBefore && atEOL {
+		if le < len(data) {
+			le++ // take the newline with the line
+		}
+		return ls, le
+	}
+	for start > 0 && (data[start-1] == ' ' || data[start-1] == '\t') {
+		start--
+	}
+	if atEOL {
+		end = le
+	}
+	return start, end
+}
+
+// lineIndent returns the leading whitespace of the line containing the
+// byte at off.
+func lineIndent(data []byte, off int) string {
+	ls := off
+	for ls > 0 && data[ls-1] != '\n' {
+		ls--
+	}
+	i := ls
+	for i < len(data) && (data[i] == ' ' || data[i] == '\t') {
+		i++
+	}
+	return string(data[ls:i])
+}

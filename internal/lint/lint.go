@@ -26,6 +26,32 @@
 //     those run on the scheduler goroutine itself, so parking there
 //     deadlocks the simulation rather than merely perturbing it.
 //
+// The v2 suite adds a whole-program layer: every package is loaded and
+// type-checked once, a conservative static call graph is built over
+// the module (see callgraph.go for exactly what "conservative" means),
+// and five more analyzers run over types and the graph instead of over
+// isolated files:
+//
+//   - parkpath: the transitive upgrade of inlinepark — a blocking
+//     Proc/Timeline call reachable from a Schedule/OccupyAsync
+//     callback through any chain of module-local calls, including
+//     blocking on stored or captured process handles that never cross
+//     a call boundary.
+//   - spanleak: a trace span begun on some path but not ended on every
+//     return path — a silent trace-hash divergence.
+//   - errdrop: a discarded error result from the crash-consistency-
+//     critical APIs (ccdb journal/WAL, nand media persistence,
+//     flashchan recovery, the core device layer).
+//   - selectnondet: selects with multiple channel cases (the runtime
+//     picks among ready cases randomly), and call chains reaching raw
+//     go statements outside rawgo's lexical scope.
+//   - stalesuppress: //sdflint:allow directives that no longer waive
+//     any finding.
+//
+// The per-file analyzers keep working even when a file fails to parse
+// or a package fails to type-check — broken trees degrade to the
+// syntactic subset instead of losing the gate entirely.
+//
 // A finding can be waived with a suppression comment carrying a
 // mandatory reason, either on the offending line or the line above:
 //
@@ -41,6 +67,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -53,6 +80,8 @@ type Finding struct {
 	Col      int
 	Analyzer string
 	Message  string
+
+	fix *textFix // optional safe suggested edit, applied by -fix
 }
 
 // String renders the finding in the canonical "file:line: [analyzer]
@@ -61,21 +90,32 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d: [%s] %s", f.File, f.Line, f.Analyzer, f.Message)
 }
 
-// An Analyzer checks one determinism invariant over a single file.
+// An Analyzer checks one determinism invariant, either file by file
+// (Run) or over the whole type-checked module and its call graph
+// (RunModule). Exactly one of the two is set, except stalesuppress,
+// which the Check pipeline implements itself.
 type Analyzer struct {
 	Name string
 	Doc  string
 	// Applies reports whether the file is in the analyzer's scope.
 	// Out-of-scope files (generally cmd/, examples/ and tests) may use
-	// the forbidden constructs freely.
+	// the forbidden constructs freely. Module analyzers consult it
+	// internally for the files they report on.
 	Applies func(f *File) bool
 	// Run reports violations in an in-scope file.
 	Run func(f *File) []Finding
+	// RunModule reports violations over the whole module; findings are
+	// later filtered to the files selected by the package patterns.
+	RunModule func(m *Module) []Finding
 }
 
-// Analyzers returns the full suite in stable order.
+// Analyzers returns the full suite in stable order: the five per-file
+// v1 analyzers, then the five whole-program v2 analyzers.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{NoWallClock, SeededRand, RawGo, MapOrder, InlinePark}
+	return []*Analyzer{
+		NoWallClock, SeededRand, RawGo, MapOrder, InlinePark,
+		ParkPath, SpanLeak, ErrDrop, SelectNonDet, StaleSuppress,
+	}
 }
 
 func analyzerNames() map[string]bool {
@@ -103,45 +143,97 @@ func Run(root string, patterns []string) ([]Finding, error) {
 // returns findings sorted by position. A pattern that selects no
 // package is an error, so a typo cannot silently turn the lint gate
 // green.
+//
+// The pipeline runs in five phases: per-file analyzers on each
+// selected file; whole-program analyzers over the full module (their
+// findings filtered to the selected files — the call graph always sees
+// everything, the patterns only scope reporting); suppression, with
+// each waived finding marking its directive used; stalesuppress over
+// the directives that waived nothing; and finally the parse failures
+// recorded at load time.
 func (m *Module) Check(patterns []string) ([]Finding, error) {
 	pats, err := compilePatterns(patterns)
 	if err != nil {
 		return nil, err
 	}
-	var findings []Finding
+	selected := make(map[string]bool)
+	var files []*File
 	for _, pkg := range m.Pkgs {
 		for _, file := range pkg.Files {
 			if !pats.match(filepath.ToSlash(filepath.Dir(file.Path))) {
 				continue
 			}
-			findings = append(findings, checkFile(file)...)
+			selected[file.Path] = true
+			files = append(files, file)
 		}
+	}
+	// Parse-failed files without a salvageable AST are in no Package;
+	// match their directories too so their load errors are reported and
+	// a pattern naming only such a directory still counts as matched.
+	for _, fd := range m.LoadErrors {
+		pats.match(path.Dir(fd.File))
 	}
 	if unmatched := pats.unmatched(); len(unmatched) > 0 {
 		return nil, fmt.Errorf("no packages match pattern %s", strings.Join(unmatched, ", "))
 	}
-	sortFindings(findings)
-	return findings, nil
-}
 
-// checkFile runs every in-scope analyzer on one file and applies its
-// suppression comments. Malformed suppressions are findings themselves
-// and never waive anything.
-func checkFile(f *File) []Finding {
-	sup, bad := fileSuppressions(f)
-	findings := append([]Finding(nil), bad...)
+	// Phase 1: per-file analyzers.
+	raw := make(map[string][]Finding)
+	for _, f := range files {
+		for _, a := range Analyzers() {
+			if a.Run == nil {
+				continue
+			}
+			if a.Applies != nil && !a.Applies(f) {
+				continue
+			}
+			raw[f.Path] = append(raw[f.Path], a.Run(f)...)
+		}
+	}
+
+	// Phase 2: whole-program analyzers.
 	for _, a := range Analyzers() {
-		if a.Applies != nil && !a.Applies(f) {
+		if a.RunModule == nil {
 			continue
 		}
-		for _, fd := range a.Run(f) {
-			if sup.allows(fd.Analyzer, fd.Line) {
+		for _, fd := range a.RunModule(m) {
+			if selected[fd.File] {
+				raw[fd.File] = append(raw[fd.File], fd)
+			}
+		}
+	}
+
+	// Phase 3: suppression with use-tracking; malformed directives are
+	// findings themselves and waive nothing.
+	var findings []Finding
+	for _, f := range files {
+		sup, bad := fileSuppressions(f)
+		findings = append(findings, bad...)
+		for _, fd := range raw[f.Path] {
+			if d := sup.lookup(fd.Analyzer, fd.Line); d != nil {
+				d.used = true
 				continue
 			}
 			findings = append(findings, fd)
 		}
 	}
-	return findings
+
+	// Phase 4: stalesuppress. Runs after every other analyzer has had
+	// its chance to consume a directive — including the call graph's
+	// rawgo waivers, marked used when the graph was built in phase 2.
+	for _, f := range files {
+		findings = append(findings, staleFindings(f)...)
+	}
+
+	// Phase 5: load errors for the selected scope.
+	for _, fd := range m.LoadErrors {
+		if selected[fd.File] || pats.match(path.Dir(fd.File)) {
+			findings = append(findings, fd)
+		}
+	}
+
+	sortFindings(findings)
+	return findings, nil
 }
 
 func sortFindings(fs []Finding) {
@@ -254,8 +346,11 @@ func Main(dir string, args []string, stdout, stderr io.Writer) int {
 	flags := flag.NewFlagSet("sdflint", flag.ContinueOnError)
 	flags.SetOutput(stderr)
 	list := flags.Bool("list", false, "list the analyzers and exit")
+	jsonOut := flags.Bool("json", false, "emit findings as a JSON array on stdout")
+	sarifPath := flags.String("sarif", "", "also write a SARIF 2.1.0 report to `file`")
+	fix := flags.Bool("fix", false, "apply safe suggested fixes, then re-check and report what remains")
 	flags.Usage = func() {
-		fmt.Fprintf(stderr, "usage: sdflint [-list] [packages]\n\n")
+		fmt.Fprintf(stderr, "usage: sdflint [-list] [-json] [-sarif file] [-fix] [packages]\n\n")
 		fmt.Fprintf(stderr, "Checks the enclosing module against the determinism rules in\n")
 		fmt.Fprintf(stderr, "DESIGN.md. Packages default to ./... and accept dir or dir/... forms.\n\n")
 		flags.PrintDefaults()
@@ -279,8 +374,47 @@ func Main(dir string, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "sdflint: %v\n", err)
 		return 2
 	}
-	for _, f := range findings {
-		fmt.Fprintln(stdout, f)
+	if *fix {
+		n, err := ApplyFixes(root, findings)
+		if err != nil {
+			fmt.Fprintf(stderr, "sdflint: applying fixes: %v\n", err)
+			return 2
+		}
+		if n > 0 {
+			fmt.Fprintf(stderr, "sdflint: applied %d fix(es)\n", n)
+		}
+		// Re-check from scratch: the edits moved positions and may have
+		// resolved (or, for stale directives, revealed) other findings.
+		findings, err = Run(root, flags.Args())
+		if err != nil {
+			fmt.Fprintf(stderr, "sdflint: %v\n", err)
+			return 2
+		}
+	}
+	if *sarifPath != "" {
+		fh, err := os.Create(*sarifPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "sdflint: %v\n", err)
+			return 2
+		}
+		werr := writeSARIF(fh, findings)
+		if cerr := fh.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(stderr, "sdflint: writing %s: %v\n", *sarifPath, werr)
+			return 2
+		}
+	}
+	if *jsonOut {
+		if err := writeJSON(stdout, findings); err != nil {
+			fmt.Fprintf(stderr, "sdflint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(stderr, "sdflint: %d finding(s)\n", len(findings))

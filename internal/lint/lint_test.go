@@ -101,6 +101,11 @@ func TestPerAnalyzerFindings(t *testing.T) {
 		{"rawgo", "./internal/spawnuse/...", 3},
 		{"maporder", "./internal/mapuse", 4},
 		{"inlinepark", "./internal/parkuse", 5},
+		{"parkpath", "./internal/parktrans", 3},
+		{"spanleak", "./internal/spanuse", 3},
+		{"errdrop", "./internal/erruse", 5},
+		{"selectnondet", "./internal/seluse", 2},
+		{"stalesuppress", "./internal/staleuse", 2},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer, func(t *testing.T) {

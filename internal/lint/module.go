@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/parser"
+	"go/scanner"
 	"go/token"
 	"go/types"
 	"io/fs"
@@ -26,6 +27,12 @@ type Module struct {
 	// packages that type-checked. Lookups into it degrade to nil for
 	// files the checker could not resolve.
 	Info *types.Info
+	// LoadErrors holds per-file parse failures as findings under the
+	// pseudo-analyzer "sdflint": a broken file degrades the suite on
+	// that file instead of aborting the whole run.
+	LoadErrors []Finding
+
+	cg *callGraph // memoized whole-program call graph
 }
 
 // Package is the set of files in one directory. External test packages
@@ -46,6 +53,8 @@ type File struct {
 	Pkg    *Package
 	AST    *ast.File
 	Path   string // slash-separated, relative to module root
+
+	directives *[]*directive // memoized sdflint:allow comments
 }
 
 // IsTest reports whether the file is a _test.go file.
@@ -215,13 +224,19 @@ func (m *Module) parseDir(dir string) (*Package, error) {
 			continue
 		}
 		full := filepath.Join(abs, name)
-		astFile, err := parser.ParseFile(m.Fset, full, nil, parser.ParseComments)
-		if err != nil {
-			return nil, err
-		}
 		rel := name
 		if dir != "." {
 			rel = dir + "/" + name
+		}
+		astFile, err := parser.ParseFile(m.Fset, full, nil, parser.ParseComments)
+		if err != nil {
+			// Graceful degradation on broken trees: the failure becomes
+			// a finding, and the partial AST (when the parser salvaged
+			// one) still feeds the per-file analyzers.
+			m.LoadErrors = append(m.LoadErrors, parseErrorFinding(m, rel, err))
+			if astFile == nil {
+				continue
+			}
 		}
 		f := &File{Module: m, Pkg: pkg, AST: astFile, Path: rel}
 		pkg.Files = append(pkg.Files, f)
@@ -243,6 +258,21 @@ func (m *Module) parseDir(dir string) (*Package, error) {
 	}
 	sort.Slice(pkg.Files, func(i, j int) bool { return pkg.Files[i].Path < pkg.Files[j].Path })
 	return pkg, nil
+}
+
+// parseErrorFinding converts a parse failure into a Finding at the
+// error's position (line 1 when the error carries none).
+func parseErrorFinding(m *Module, rel string, err error) Finding {
+	line, col := 1, 1
+	msg := err.Error()
+	if list, ok := err.(scanner.ErrorList); ok && len(list) > 0 {
+		line, col = list[0].Pos.Line, list[0].Pos.Column
+		msg = list[0].Msg
+	}
+	return Finding{
+		File: rel, Line: line, Col: col, Analyzer: "sdflint",
+		Message: fmt.Sprintf("parse error: %s (type-aware analyzers degraded for this file)", msg),
+	}
 }
 
 // readModulePath extracts the module path from a go.mod file.

@@ -1,29 +1,48 @@
 package lint
 
 import (
+	"go/token"
 	"strings"
 )
 
-// suppressionSet records which analyzers are waived on which lines.
-// A suppression comment covers its own line (trailing-comment style)
-// and the line immediately below it (comment-above style).
-type suppressionSet map[int]map[string]bool
+// suppressionSet records which analyzers are waived on which lines,
+// keeping the directive responsible so the Check pipeline can mark it
+// used (stalesuppress flags the ones that never are). A suppression
+// comment covers its own line (trailing-comment style) and the line
+// immediately below it (comment-above style).
+type suppressionSet map[int]map[string]*directive
 
 func (s suppressionSet) allows(analyzer string, line int) bool {
+	return s[line][analyzer] != nil
+}
+
+// lookup returns the directive waiving analyzer on line, or nil.
+func (s suppressionSet) lookup(analyzer string, line int) *directive {
 	return s[line][analyzer]
 }
 
-func (s suppressionSet) add(analyzer string, line int) {
+func (s suppressionSet) add(d *directive, line int) {
 	if s[line] == nil {
-		s[line] = make(map[string]bool)
+		s[line] = make(map[string]*directive)
 	}
-	s[line][analyzer] = true
+	if s[line][d.d.Analyzer] == nil {
+		s[line][d.d.Analyzer] = d
+	}
 }
 
 // allowDirective holds one parsed //sdflint:allow comment.
 type allowDirective struct {
 	Analyzer string
 	Reason   string
+}
+
+// directive is one sdflint:allow comment found in a file, valid or
+// not, with enough position information to report and to delete it.
+type directive struct {
+	d         *allowDirective // nil when malformed
+	line, col int
+	pos, end  token.Pos // source range of the comment
+	used      bool      // set by Check when the directive waives a finding
 }
 
 // parseAllow parses the text of a single comment. It returns
@@ -63,13 +82,14 @@ func parseAllow(text string, known map[string]bool) (*allowDirective, bool) {
 	return &allowDirective{Analyzer: fields[0], Reason: strings.Join(fields[1:], " ")}, true
 }
 
-// fileSuppressions scans every comment in the file for suppression
-// directives. Malformed directives are returned as findings under the
-// pseudo-analyzer name "sdflint" and waive nothing.
-func fileSuppressions(f *File) (suppressionSet, []Finding) {
+// fileDirectives scans every comment in the file for suppression
+// directives, memoizing the result on the File.
+func fileDirectives(f *File) []*directive {
+	if f.directives != nil {
+		return *f.directives
+	}
 	known := analyzerNames()
-	set := make(suppressionSet)
-	var bad []Finding
+	dirs := []*directive{}
 	for _, group := range f.AST.Comments {
 		for _, c := range group.List {
 			d, isDirective := parseAllow(c.Text, known)
@@ -77,17 +97,30 @@ func fileSuppressions(f *File) (suppressionSet, []Finding) {
 				continue
 			}
 			_, line, col := f.Pos(c.Pos())
-			if d == nil {
-				bad = append(bad, Finding{
-					File: f.Path, Line: line, Col: col, Analyzer: "sdflint",
-					Message: "malformed suppression: want //sdflint:allow <analyzer> <reason> " +
-						"with a known analyzer and a non-empty reason",
-				})
-				continue
-			}
-			set.add(d.Analyzer, line)
-			set.add(d.Analyzer, line+1)
+			dirs = append(dirs, &directive{d: d, line: line, col: col, pos: c.Pos(), end: c.End()})
 		}
+	}
+	f.directives = &dirs
+	return dirs
+}
+
+// fileSuppressions builds the line->analyzer waiver set from the
+// file's valid directives and returns the malformed ones as findings
+// under the pseudo-analyzer name "sdflint"; those waive nothing.
+func fileSuppressions(f *File) (suppressionSet, []Finding) {
+	set := make(suppressionSet)
+	var bad []Finding
+	for _, dir := range fileDirectives(f) {
+		if dir.d == nil {
+			bad = append(bad, Finding{
+				File: f.Path, Line: dir.line, Col: dir.col, Analyzer: "sdflint",
+				Message: "malformed suppression: want //sdflint:allow <analyzer> <reason> " +
+					"with a known analyzer and a non-empty reason",
+			})
+			continue
+		}
+		set.add(dir, dir.line)
+		set.add(dir, dir.line+1)
 	}
 	return set, bad
 }

@@ -1,0 +1,17 @@
+// Package ccdb stands in for the real journal/WAL package: errdrop
+// matches critical packages by import-path suffix, so this stub's
+// "internal/ccdb" suffix makes its error results load-bearing for the
+// fixtures without pulling in the real implementation.
+package ccdb
+
+// Journal is the fixture write-ahead log.
+type Journal struct{}
+
+// Append adds one record; the error is crash-consistency critical.
+func (j *Journal) Append(rec []byte) error { return nil }
+
+// Sync makes appended records durable.
+func (j *Journal) Sync() error { return nil }
+
+// Open replays the journal at path.
+func Open(path string) (*Journal, error) { return &Journal{}, nil }

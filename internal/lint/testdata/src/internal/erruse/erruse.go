@@ -1,0 +1,58 @@
+// Package erruse exercises the errdrop analyzer: errors from the
+// crash-consistency-critical packages (here the ccdb and nand stubs)
+// must be bound, not discarded — a dropped error is an
+// unacknowledged-but-assumed write.
+package erruse
+
+import (
+	"fmt"
+
+	"fixture/internal/ccdb"
+	"fixture/internal/nand"
+)
+
+// BadBare discards the error as a bare call statement.
+func BadBare(j *ccdb.Journal, rec []byte) {
+	j.Append(rec) // want(errdrop)
+}
+
+// BadBlank blanks the single error result.
+func BadBlank(j *ccdb.Journal) {
+	_ = j.Sync() // want(errdrop)
+}
+
+// BadMulti blanks the error position of a multi-result call.
+func BadMulti() []byte {
+	data, _ := nand.ReadPage(0, 1) // want(errdrop)
+	return data
+}
+
+// BadDefer drops the error behind a defer, where no one can see it.
+func BadDefer(j *ccdb.Journal) {
+	defer j.Sync() // want(errdrop)
+}
+
+// BadPkgFunc discards a package-level function's error.
+func BadPkgFunc(data []byte) {
+	nand.ProgramPage(0, 0, data) // want(errdrop)
+}
+
+// Good binds the errors; whether the binding is then handled sensibly
+// is the reviewer's judgment, not the analyzer's.
+func Good(j *ccdb.Journal, rec []byte) error {
+	if err := j.Append(rec); err != nil {
+		return err
+	}
+	return j.Sync()
+}
+
+// GoodNonCritical may drop errors from non-critical packages freely.
+func GoodNonCritical() {
+	fmt.Println("not a persistence API")
+}
+
+// Waived shows the suppressed form with its mandatory reason.
+func Waived(j *ccdb.Journal) {
+	//sdflint:allow errdrop fixture demonstrating a waiver
+	_ = j.Sync()
+}

@@ -1,0 +1,9 @@
+// Package nand stands in for raw media persistence; like the ccdb
+// stub, its "internal/nand" suffix makes it errdrop-critical.
+package nand
+
+// ProgramPage persists one page.
+func ProgramPage(block, page int, data []byte) error { return nil }
+
+// ReadPage reads one page back.
+func ReadPage(block, page int) ([]byte, error) { return nil, nil }

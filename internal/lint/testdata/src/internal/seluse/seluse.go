@@ -1,0 +1,44 @@
+// Package seluse exercises the selectnondet analyzer: multi-case
+// selects race in the host runtime, and call chains can reach raw go
+// statements that live outside rawgo's lexical scope.
+package seluse
+
+import "fixture/pool"
+
+// BadSelect races two channels; when both are ready the runtime picks
+// pseudorandomly, so replays diverge.
+func BadSelect(a, b chan int) int {
+	select { // want(selectnondet)
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// GoodSingleCase has nothing to race: one comm case plus default.
+func GoodSingleCase(a chan int) (int, bool) {
+	select {
+	case v := <-a:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// BadEscape reaches a raw go statement through a module-root helper
+// rawgo never sees.
+func BadEscape(fn func()) {
+	pool.Detach(fn) // want(selectnondet)
+}
+
+// GoodApproved reaches only a waived spawn — an approved worker pool.
+func GoodApproved(fn func()) {
+	pool.Approved(fn)
+}
+
+// Waived shows the suppressed form with its mandatory reason.
+func Waived(fn func()) {
+	//sdflint:allow selectnondet fixture demonstrating a waiver
+	pool.Detach(fn)
+}

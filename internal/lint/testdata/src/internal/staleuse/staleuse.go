@@ -1,0 +1,30 @@
+// Package staleuse exercises the stalesuppress analyzer: a directive
+// that waives no finding is a standing false claim and a silent cover
+// for the next violation on its line.
+package staleuse
+
+// Stale: nothing on or below the directive's line spawns anything.
+// want+2(stalesuppress)
+//
+//sdflint:allow rawgo nothing here spawns anymore
+func Quiet() {}
+
+// A live directive stays silent: it waives the rawgo finding below.
+//
+//sdflint:allow rawgo fixture live waiver on the spawn below
+func Live(fn func()) { go fn() }
+
+// A deliberately-kept stale directive can be waived while a refactor
+// settles; the stalesuppress waiver is consumed by that waive, so
+// both directives are live.
+//
+//sdflint:allow stalesuppress kept while the spawn refactor settles
+//sdflint:allow rawgo the spawn moved out in the refactor
+func AlsoQuiet() {}
+
+// A stalesuppress waiver with nothing stale in its scope is itself
+// stale.
+// want+2(stalesuppress)
+//
+//sdflint:allow stalesuppress there is nothing stale here
+func Third() {}

@@ -1,0 +1,17 @@
+// Package pool is a module-root helper outside rawgo's lexical scope
+// (internal/ minus internal/sim): its raw go statements are invisible
+// to the per-file analyzer and reachable only through the call graph,
+// which is exactly the hole selectnondet closes.
+package pool
+
+// Detach runs fn on a bare host goroutine.
+func Detach(fn func()) {
+	go fn()
+}
+
+// Approved runs fn on a waived worker goroutine — the approved-pool
+// pattern: the waiver keeps the spawn out of selectnondet's chains.
+func Approved(fn func()) {
+	//sdflint:allow rawgo fixture approved worker pool
+	go fn()
+}

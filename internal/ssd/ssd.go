@@ -303,6 +303,7 @@ func (s *SSD) readPage(p *sim.Proc, ch *channel, lpn int64) {
 		// at the new location.
 		if l2 := s.mapping[lpn]; l2 != l && l2 != unmapped {
 			_, plane2, block2, page2 := unpackLoc(l2)
+			//sdflint:allow errdrop best-effort retry at the page GC relocated; the read path models timing, and the bus transfer below is charged either way
 			_, _ = ch.planes[plane2].plane.ReadPage(p, block2, page2)
 		}
 	}
