@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint trace-smoke chaos-smoke recovery-smoke bench-smoke check
+.PHONY: all build vet test race lint trace-smoke chaos-smoke recovery-smoke bench-smoke metrics-smoke check
 
 all: check
 
@@ -63,6 +63,29 @@ recovery-smoke:
 	cmp recovery-a.jsonl recovery-b.jsonl
 	$(GO) run ./cmd/sdfctl bench diff BENCH_recovery_a.json BENCH_recovery.json
 	rm -f recovery-b.json recovery-b.jsonl BENCH_recovery_a.json
+
+# metrics-smoke runs the fault-injected availability experiment twice
+# with the observability pipeline on and requires byte-identical
+# Prometheus snapshots and metrics JSONL (DESIGN.md "Metrics & SLOs").
+# It then checks the headline SLO result through the operator tooling:
+# sdfctl slo report must show SDF meeting — and parity Gen3 violating —
+# the 1ms p99 read-latency objective under the built-in chaos plan.
+metrics-smoke:
+	$(GO) run ./cmd/sdfbench -quick -json -metrics faults
+	mv METRICS_faults.prom METRICS_faults_a.prom
+	mv METRICS_faults.jsonl METRICS_faults_a.jsonl
+	mv BENCH_faults.json BENCH_faults_a.json
+	$(GO) run ./cmd/sdfbench -quick -json -metrics faults
+	cmp METRICS_faults_a.prom METRICS_faults.prom
+	cmp METRICS_faults_a.jsonl METRICS_faults.jsonl
+	$(GO) run ./cmd/sdfctl metrics diff METRICS_faults_a.prom METRICS_faults.prom
+	$(GO) run ./cmd/sdfctl metrics diff METRICS_faults_a.jsonl METRICS_faults.jsonl
+	$(GO) run ./cmd/sdfctl bench diff BENCH_faults_a.json BENCH_faults.json
+	$(GO) run ./cmd/sdfctl metrics summarize METRICS_faults.prom
+	$(GO) run ./cmd/sdfctl slo report | tee slo-report.txt
+	grep -q 'sdf/read_p99  *met' slo-report.txt
+	grep -q 'gen3/read_p99  *VIOLATED' slo-report.txt
+	rm -f METRICS_faults_a.prom METRICS_faults_a.jsonl BENCH_faults_a.json slo-report.txt
 
 # bench-smoke regenerates the Figure 7 benchmark JSON in quick mode
 # and diffs its determinism-sensitive fields (tables, metrics) against

@@ -27,6 +27,14 @@
 // alongside it; both are deterministic, so two runs of the same
 // experiment produce byte-identical files.
 //
+// -metrics turns on the observability pipeline in experiments that
+// support it (currently faults): a labeled metrics registry scraped on
+// a virtual-time period plus an SLO engine. Each such experiment
+// writes METRICS_<experiment>.prom (Prometheus text snapshot) and
+// METRICS_<experiment>.jsonl (sampled time series); both are
+// byte-stable across reruns, and their SHA-256 hashes plus the SLO
+// verdicts land in the bench JSON's "observability" block.
+//
 // -cpuprofile/-memprofile write pprof profiles of the harness itself,
 // for finding simulator hot spots (see README "Performance").
 package main
@@ -55,6 +63,7 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace to this path (and JSONL alongside)")
 	traceFull := flag.Bool("trace-full", false, "with -trace, also record kernel events (spawn/park/acquire/xfer)")
 	faultsPath := flag.String("faults", "", "fault plan JSON for the faults experiment (default: built-in plan)")
+	metricsOut := flag.Bool("metrics", false, "enable the observability pipeline; write METRICS_<experiment>.prom and .jsonl")
 	flag.Parse()
 
 	registry := experiments.Registry()
@@ -64,7 +73,7 @@ func main() {
 		}
 		return
 	}
-	opts := experiments.Options{Quick: *quick}
+	opts := experiments.Options{Quick: *quick, Metrics: *metricsOut}
 	if *faultsPath != "" {
 		pl, err := fault.Load(*faultsPath)
 		if err != nil {
@@ -123,6 +132,12 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		if *metricsOut && r.Table.Observability != nil {
+			if err := writeMetricsExports(r.Name, r.Table.Observability); err != nil {
+				fmt.Fprintf(os.Stderr, "sdfbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	}
 	if opts.Tracer != nil {
 		if err := writeTraces(*tracePath, opts.Tracer); err != nil {
@@ -158,7 +173,11 @@ type benchDoc struct {
 	Rows       [][]string         `json:"rows"`
 	Notes      []string           `json:"notes,omitempty"`
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
-	Perf       *perfDoc           `json:"perf,omitempty"`
+	// Observability carries the export fingerprints and SLO verdicts
+	// when the experiment ran with -metrics; the raw exports go to
+	// METRICS_<experiment>.prom/.jsonl instead of the bench JSON.
+	Observability *experiments.Observability `json:"observability,omitempty"`
+	Perf          *perfDoc                   `json:"perf,omitempty"`
 }
 
 // perfDoc is the wall-clock record that starts the perf trajectory:
@@ -176,14 +195,15 @@ type perfDoc struct {
 func writeBenchJSON(r experiments.Result, quick bool) error {
 	tab := r.Table
 	doc := benchDoc{
-		Experiment: r.Name,
-		ID:         tab.ID,
-		Title:      tab.Title,
-		Quick:      quick,
-		Header:     tab.Header,
-		Rows:       tab.Rows,
-		Notes:      tab.Notes,
-		Metrics:    tab.Metrics,
+		Experiment:    r.Name,
+		ID:            tab.ID,
+		Title:         tab.Title,
+		Quick:         quick,
+		Header:        tab.Header,
+		Rows:          tab.Rows,
+		Notes:         tab.Notes,
+		Metrics:       tab.Metrics,
+		Observability: tab.Observability,
 		Perf: &perfDoc{
 			WallSeconds:  r.Wall.Seconds(),
 			Events:       r.Events,
@@ -200,6 +220,23 @@ func writeBenchJSON(r experiments.Result, quick bool) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s (%d metrics)\n", path, len(tab.Metrics))
+	return nil
+}
+
+// writeMetricsExports writes the Prometheus snapshot and the sampled
+// time series for one experiment into the current directory. Both are
+// byte-stable across seeded reruns (make metrics-smoke checks that).
+func writeMetricsExports(name string, obs *experiments.Observability) error {
+	promPath := fmt.Sprintf("METRICS_%s.prom", name)
+	if err := os.WriteFile(promPath, obs.Snapshot, 0o644); err != nil {
+		return err
+	}
+	jsonlPath := fmt.Sprintf("METRICS_%s.jsonl", name)
+	if err := os.WriteFile(jsonlPath, obs.Series, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (sha256 %s) and %s (sha256 %s), %d alerts\n",
+		promPath, obs.SnapshotSHA256[:12], jsonlPath, obs.SeriesSHA256[:12], obs.Alerts)
 	return nil
 }
 

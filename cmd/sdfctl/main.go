@@ -26,6 +26,25 @@
 //	          validate a fault plan and print its schedule; with no
 //	          argument, print the availability experiment's built-in
 //	          plan
+//
+//	metrics summarize <file.prom>
+//	          read a Prometheus snapshot written by sdfbench -metrics
+//	          and print one line per metric family (type, series count,
+//	          value spread)
+//
+//	metrics query <file.jsonl> <pattern>
+//	          print every sampled time series whose ID contains the
+//	          pattern: point count, time span, first/last/min/max
+//
+//	metrics diff <a> <b>
+//	          compare two metrics exports (.prom or .jsonl) series by
+//	          series; exit 1 on any difference
+//
+//	slo report [-full] [plan.json]
+//	          run the availability experiment with the observability
+//	          pipeline on and print each objective's verdict and error
+//	          budget burn (quick windows by default; -full runs the
+//	          full-length experiment)
 package main
 
 import (
@@ -53,7 +72,7 @@ func main() {
 	blocks := flag.Int("blocks", 16, "erase blocks per plane (scaled geometry)")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: sdfctl [-channels N] [-blocks N] info|exercise|wear|stack|trace|bench|faults")
+		fmt.Fprintln(os.Stderr, "usage: sdfctl [-channels N] [-blocks N] info|exercise|wear|stack|trace|bench|faults|metrics|slo")
 		os.Exit(2)
 	}
 
@@ -88,6 +107,34 @@ func main() {
 			path = flag.Arg(1)
 		}
 		faults(path)
+	case "metrics":
+		switch {
+		case flag.NArg() == 3 && flag.Arg(1) == "summarize":
+			metricsSummarize(flag.Arg(2))
+		case flag.NArg() == 4 && flag.Arg(1) == "query":
+			metricsQuery(flag.Arg(2), flag.Arg(3))
+		case flag.NArg() == 4 && flag.Arg(1) == "diff":
+			metricsDiff(flag.Arg(2), flag.Arg(3))
+		default:
+			fmt.Fprintln(os.Stderr, "usage: sdfctl metrics summarize <file.prom> | query <file.jsonl> <pattern> | diff <a> <b>")
+			os.Exit(2)
+		}
+	case "slo":
+		args := flag.Args()[1:]
+		quick := true
+		if len(args) > 1 && args[1] == "-full" {
+			quick = false
+			args = append(args[:1], args[2:]...)
+		}
+		if len(args) < 1 || args[0] != "report" || len(args) > 2 {
+			fmt.Fprintln(os.Stderr, "usage: sdfctl slo report [-full] [plan.json]")
+			os.Exit(2)
+		}
+		planPath := ""
+		if len(args) == 2 {
+			planPath = args[1]
+		}
+		sloReport(planPath, quick)
 	default:
 		fmt.Fprintf(os.Stderr, "sdfctl: unknown command %q\n", flag.Arg(0))
 		os.Exit(2)

@@ -1,0 +1,279 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"sdf/internal/experiments"
+	"sdf/internal/fault"
+)
+
+// metricsSummarize reads a Prometheus text snapshot written by
+// sdfbench -metrics and prints one line per metric family: its type,
+// how many labeled series it holds, and the value spread.
+func metricsSummarize(path string) {
+	families, order := readProm(path)
+	fmt.Printf("%s: %d series in %d families\n\n", path, countSeries(families), len(order))
+	fmt.Printf("%-42s %-9s %7s %14s %14s\n", "family", "type", "series", "min", "max")
+	for _, name := range order {
+		f := families[name]
+		min, max := f.series[0].value, f.series[0].value
+		for _, s := range f.series[1:] {
+			if s.value < min {
+				min = s.value
+			}
+			if s.value > max {
+				max = s.value
+			}
+		}
+		fmt.Printf("%-42s %-9s %7d %14s %14s\n", name, f.typ, len(f.series),
+			strconv.FormatFloat(min, 'g', 6, 64), strconv.FormatFloat(max, 'g', 6, 64))
+	}
+}
+
+// metricsQuery reads a metrics JSONL time series written by sdfbench
+// -metrics and prints every series whose ID contains the pattern:
+// point count, time span, and first/last/min/max values.
+func metricsQuery(path, pattern string) {
+	rows := readSeriesJSONL(path)
+	matched := 0
+	for _, r := range rows {
+		if !strings.Contains(r.Series, pattern) {
+			continue
+		}
+		matched++
+		if len(r.Points) == 0 {
+			fmt.Printf("%s: no points\n", r.Series)
+			continue
+		}
+		first, last := r.Points[0], r.Points[len(r.Points)-1]
+		min, max := first[1], first[1]
+		for _, p := range r.Points[1:] {
+			if p[1] < min {
+				min = p[1]
+			}
+			if p[1] > max {
+				max = p[1]
+			}
+		}
+		fmt.Printf("%s\n  %d points over %v..%v  first %g  last %g  min %g  max %g\n",
+			r.Series, len(r.Points),
+			time.Duration(int64(first[0])), time.Duration(int64(last[0])),
+			first[1], last[1], min, max)
+	}
+	if matched == 0 {
+		fmt.Fprintf(os.Stderr, "sdfctl: no series matching %q in %s\n", pattern, path)
+		os.Exit(1)
+	}
+}
+
+// metricsDiff compares two metrics exports (either two .prom snapshots
+// or two .jsonl series files) series by series and exits 1 on any
+// difference, listing the offending series IDs.
+func metricsDiff(pathA, pathB string) {
+	a := readExportKeyed(pathA)
+	b := readExportKeyed(pathB)
+	keys := make(map[string]bool, len(a)+len(b))
+	for k := range a {
+		keys[k] = true
+	}
+	for k := range b {
+		keys[k] = true
+	}
+	var diffs []string
+	for k := range keys {
+		va, okA := a[k]
+		vb, okB := b[k]
+		switch {
+		case !okA:
+			diffs = append(diffs, k+" (only in "+pathB+")")
+		case !okB:
+			diffs = append(diffs, k+" (only in "+pathA+")")
+		case va != vb:
+			diffs = append(diffs, k)
+		}
+	}
+	if len(diffs) == 0 {
+		fmt.Printf("%s and %s match on all %d series\n", pathA, pathB, len(a))
+		return
+	}
+	sort.Strings(diffs)
+	for _, d := range diffs {
+		fmt.Fprintf(os.Stderr, "sdfctl: series differs: %s\n", d)
+	}
+	os.Exit(1)
+}
+
+// sloReport runs the availability experiment with the observability
+// pipeline on and prints the SLO engine's verdict per objective — the
+// operator view of "did the cluster hold its promises under faults".
+// An optional fault-plan path overrides the built-in chaos schedule.
+func sloReport(planPath string, quick bool) {
+	opts := experiments.Options{Quick: quick, Metrics: true}
+	if planPath != "" {
+		pl, err := fault.Load(planPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.FaultPlan = pl
+	}
+	tab := experiments.Faults(opts)
+	obs := tab.Observability
+	if obs == nil {
+		log.Fatal("faults experiment returned no observability payload")
+	}
+	fmt.Printf("SLO report: faults experiment, %d alerts emitted\n\n", obs.Alerts)
+	missed := 0
+	for _, r := range obs.SLO {
+		fmt.Println(r.String())
+		if !r.Met {
+			missed++
+		}
+	}
+	fmt.Printf("\nsnapshot sha256 %s  series sha256 %s\n", obs.SnapshotSHA256[:12], obs.SeriesSHA256[:12])
+	if missed > 0 {
+		fmt.Printf("%d of %d objectives missed\n", missed, len(obs.SLO))
+	} else {
+		fmt.Printf("all %d objectives met\n", len(obs.SLO))
+	}
+}
+
+// promFamily is one metric family from a text snapshot.
+type promFamily struct {
+	typ    string
+	series []promSeries
+}
+
+type promSeries struct {
+	id    string
+	value float64
+}
+
+// readProm parses the subset of the Prometheus text format that the
+// exporter writes: "# TYPE name type" headers followed by
+// "name{labels} value" samples. Returns families keyed by name plus
+// the file's (sorted) family order.
+func readProm(path string) (map[string]*promFamily, []string) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	families := make(map[string]*promFamily)
+	var order []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				log.Fatalf("%s: malformed TYPE line %q", path, line)
+			}
+			families[parts[2]] = &promFamily{typ: parts[3]}
+			order = append(order, parts[2])
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			log.Fatalf("%s: malformed sample line %q", path, line)
+		}
+		id, valStr := line[:sp], line[sp+1:]
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			log.Fatalf("%s: bad value in %q: %v", path, line, err)
+		}
+		name := id
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		// Histogram samples (name_bucket, name_sum, name_count) belong
+		// to the family declared for the bare name.
+		fam := families[name]
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if fam == nil && strings.HasSuffix(name, suffix) {
+				fam = families[strings.TrimSuffix(name, suffix)]
+			}
+		}
+		if fam == nil {
+			log.Fatalf("%s: sample %q has no TYPE header", path, id)
+		}
+		fam.series = append(fam.series, promSeries{id: id, value: v})
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if len(order) == 0 {
+		log.Fatalf("%s: no metric families found", path)
+	}
+	return families, order
+}
+
+func countSeries(families map[string]*promFamily) int {
+	n := 0
+	for _, f := range families {
+		n += len(f.series)
+	}
+	return n
+}
+
+// seriesRow is one line of the JSONL time-series export.
+type seriesRow struct {
+	Series string       `json:"series"`
+	Points [][2]float64 `json:"points"`
+}
+
+func readSeriesJSONL(path string) []seriesRow {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	var rows []seriesRow
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 64<<20)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var r seriesRow
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		rows = append(rows, r)
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	return rows
+}
+
+// readExportKeyed loads either export format as series-ID → canonical
+// content, for diffing.
+func readExportKeyed(path string) map[string]string {
+	out := make(map[string]string)
+	if strings.HasSuffix(path, ".jsonl") {
+		for _, r := range readSeriesJSONL(path) {
+			pts, _ := json.Marshal(r.Points)
+			out[r.Series] = string(pts)
+		}
+		return out
+	}
+	families, _ := readProm(path)
+	for _, f := range families {
+		for _, s := range f.series {
+			out[s.id] = strconv.FormatFloat(s.value, 'g', -1, 64)
+		}
+	}
+	return out
+}

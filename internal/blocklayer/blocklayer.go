@@ -17,6 +17,7 @@ import (
 
 	"sdf/internal/core"
 	"sdf/internal/flashchan"
+	"sdf/internal/metrics"
 	"sdf/internal/sim"
 	"sdf/internal/trace"
 )
@@ -97,7 +98,7 @@ type chanState struct {
 
 	consecErrs       int
 	quarantinedUntil time.Duration // virtual instant quarantine lifts
-	quarantines      int64
+	quarantines      metrics.Counter
 }
 
 // Layer is the block layer instance bound to one SDF device.
@@ -109,12 +110,15 @@ type Layer struct {
 	blocks   map[BlockID]Handle
 	inflight []int // writes in flight per channel
 
-	inlineErases     int64
-	backgroundErases int64
-	writes           int64
-	reads            int64
-	readRetries      int64
-	placementSkips   int64
+	// Counters are metrics.Counter so RegisterMetrics can adopt the
+	// same storage into a registry (the exported series and the Stats
+	// accessors cannot drift).
+	inlineErases     metrics.Counter
+	backgroundErases metrics.Counter
+	writes           metrics.Counter
+	reads            metrics.Counter
+	readRetries      metrics.Counter
+	placementSkips   metrics.Counter
 }
 
 // New builds the layer; all device blocks start as dirty (needing an
@@ -250,7 +254,7 @@ func (l *Layer) quarantine(c int) {
 		return // an open window already covers this failure
 	}
 	cs.quarantinedUntil = until
-	cs.quarantines++
+	cs.quarantines.Inc()
 	cs.consecErrs = 0
 	if t := l.env.Tracer(); t != nil {
 		span := t.Begin(l.env.Now(), 0, fmt.Sprintf("blocklayer/quarantine.%d", c), trace.PhaseFault)
@@ -271,7 +275,7 @@ func (l *Layer) pickChannel(id BlockID) int {
 	for i := 1; i < n; i++ {
 		alt := (c + i) % n
 		if l.Healthy(alt) && len(l.chans[alt].erased)+len(l.chans[alt].dirty) > 0 {
-			l.placementSkips++
+			l.placementSkips.Inc()
 			return alt
 		}
 	}
@@ -336,7 +340,7 @@ func (l *Layer) Write(p *sim.Proc, id BlockID, data []byte) (Handle, error) {
 	case len(cs.dirty) > 0:
 		lbn = cs.dirty[len(cs.dirty)-1]
 		cs.dirty = cs.dirty[:len(cs.dirty)-1]
-		l.inlineErases++
+		l.inlineErases.Inc()
 		if err := l.dev.EraseWriteTagged(p, c, lbn, data, tag); err != nil {
 			if !errors.Is(err, flashchan.ErrOutOfSpace) {
 				// Keep the block in circulation unless its spares are
@@ -353,7 +357,7 @@ func (l *Layer) Write(p *sim.Proc, id BlockID, data []byte) (Handle, error) {
 	l.recordSuccess(c)
 	h := Handle{Channel: c, LBN: lbn}
 	l.blocks[id] = h
-	l.writes++
+	l.writes.Inc()
 	return h, nil
 }
 
@@ -369,7 +373,7 @@ func (l *Layer) Read(p *sim.Proc, id BlockID, off, size int) ([]byte, error) {
 	}
 	end := l.beginOp(p, "blocklayer/read")
 	defer end()
-	l.reads++
+	l.reads.Inc()
 	for attempt := 0; ; attempt++ {
 		data, err := l.dev.Read(p, h.Channel, h.LBN, off, size)
 		if err == nil {
@@ -380,7 +384,7 @@ func (l *Layer) Read(p *sim.Proc, id BlockID, off, size int) ([]byte, error) {
 		if attempt >= l.cfg.ReadRetries || !retryable(err) {
 			return nil, err
 		}
-		l.readRetries++
+		l.readRetries.Inc()
 		backoff := l.cfg.RetryBackoff << uint(attempt)
 		t := l.env.Tracer()
 		span := t.Begin(l.env.Now(), p.Span(), "blocklayer/read-retry", trace.PhaseFault)
@@ -449,7 +453,7 @@ func (l *Layer) FreeBlocks(c int) (erased, dirty int) {
 
 // Stats returns (writes, reads, inline erases, background erases).
 func (l *Layer) Stats() (writes, reads, inline, background int64) {
-	return l.writes, l.reads, l.inlineErases, l.backgroundErases
+	return l.writes.Value(), l.reads.Value(), l.inlineErases.Value(), l.backgroundErases.Value()
 }
 
 // HealthStats returns aggregate degraded-mode counters: quarantine
@@ -457,9 +461,56 @@ func (l *Layer) Stats() (writes, reads, inline, background int64) {
 // placed away from their policy channel because it was unhealthy.
 func (l *Layer) HealthStats() (quarantines, readRetries, placementSkips int64) {
 	for _, cs := range l.chans {
-		quarantines += cs.quarantines
+		quarantines += cs.quarantines.Value()
 	}
-	return quarantines, l.readRetries, l.placementSkips
+	return quarantines, l.readRetries.Value(), l.placementSkips.Value()
+}
+
+// RegisterMetrics adopts the layer's counters into r and installs
+// free-space and health gauges. Per-channel quarantine counters keep
+// their channel identity via a chan label; the gauges reduce channel
+// state to the numbers the availability experiments watch (erased
+// blocks ready for writes, blocks awaiting erase, channels currently
+// inside a quarantine window). Gauge callbacks read in-memory slices
+// only — they must stay park-free, per the GaugeFunc contract.
+func (l *Layer) RegisterMetrics(r *metrics.Registry, labels ...metrics.Label) {
+	if r == nil {
+		return
+	}
+	r.RegisterCounter("blocklayer_writes_total", &l.writes, labels...)
+	r.RegisterCounter("blocklayer_reads_total", &l.reads, labels...)
+	r.RegisterCounter("blocklayer_inline_erases_total", &l.inlineErases, labels...)
+	r.RegisterCounter("blocklayer_background_erases_total", &l.backgroundErases, labels...)
+	r.RegisterCounter("blocklayer_read_retries_total", &l.readRetries, labels...)
+	r.RegisterCounter("blocklayer_placement_skips_total", &l.placementSkips, labels...)
+	for c, cs := range l.chans {
+		r.RegisterCounter("blocklayer_quarantines_total", &cs.quarantines,
+			append(append([]metrics.Label(nil), labels...), metrics.L("chan", fmt.Sprint(c)))...)
+	}
+	r.GaugeFunc("blocklayer_free_blocks", func() float64 {
+		var n int
+		for _, cs := range l.chans {
+			n += len(cs.erased)
+		}
+		return float64(n)
+	}, labels...)
+	r.GaugeFunc("blocklayer_dirty_blocks", func() float64 {
+		var n int
+		for _, cs := range l.chans {
+			n += len(cs.dirty)
+		}
+		return float64(n)
+	}, labels...)
+	r.GaugeFunc("blocklayer_quarantined_channels", func() float64 {
+		var n int
+		now := l.env.Now()
+		for _, cs := range l.chans {
+			if now < cs.quarantinedUntil {
+				n++
+			}
+		}
+		return float64(n)
+	}, labels...)
 }
 
 // eraseLoop is the per-channel idle-time eraser: it drains the dirty
@@ -499,6 +550,6 @@ func (l *Layer) eraseLoop(p *sim.Proc, c int) {
 			continue
 		}
 		cs.erased = append(cs.erased, lbn)
-		l.backgroundErases++
+		l.backgroundErases.Inc()
 	}
 }

@@ -99,6 +99,20 @@ func (j *Journal) putCount() int {
 	return len(j.puts)
 }
 
+// Bytes returns the replayable write-ahead payload currently held by
+// the log (puts appended but not yet truncated by a flush) — the
+// journal's replay backlog. Nil-safe, like every Journal method.
+func (j *Journal) Bytes() int64 {
+	if j == nil {
+		return 0
+	}
+	var n int64
+	for _, rec := range j.puts {
+		n += int64(rec.size)
+	}
+	return n
+}
+
 // appendRun records freshly written patches as one run of the given
 // tier under a new run ID. It reports false — recording nothing —
 // when the journal is halted; the caller must then also skip its log

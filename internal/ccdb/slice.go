@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"sdf/internal/metrics"
 	"sdf/internal/sim"
 )
 
@@ -153,6 +154,34 @@ func newSlice(env *sim.Env, store Storage, cfg Config) *Slice {
 
 // Stats returns a snapshot of activity counters.
 func (s *Slice) Stats() Stats { return s.stats }
+
+// RegisterMetrics exports the slice's activity counters and
+// steady-state gauges against r: memtable bytes, journal replay
+// backlog, live patch count, and whether compaction is running.
+// Callbacks read in-memory state only — park-free, per the registry's
+// callback contract.
+func (s *Slice) RegisterMetrics(r *metrics.Registry, labels ...metrics.Label) {
+	if r == nil {
+		return
+	}
+	r.CounterFunc("ccdb_puts_total", func() int64 { return s.stats.Puts }, labels...)
+	r.CounterFunc("ccdb_gets_total", func() int64 { return s.stats.Gets }, labels...)
+	r.CounterFunc("ccdb_gets_from_mem_total", func() int64 { return s.stats.GetsFromMem }, labels...)
+	r.CounterFunc("ccdb_flushes_total", func() int64 { return s.stats.Flushes }, labels...)
+	r.CounterFunc("ccdb_compactions_total", func() int64 { return s.stats.Compactions }, labels...)
+	r.CounterFunc("ccdb_patches_written_total", func() int64 { return s.stats.PatchesWritten }, labels...)
+	r.CounterFunc("ccdb_patches_freed_total", func() int64 { return s.stats.PatchesFreed }, labels...)
+	r.CounterFunc("ccdb_compaction_reads_total", func() int64 { return s.stats.CompactionReads }, labels...)
+	r.GaugeFunc("ccdb_mem_bytes", func() float64 { return float64(s.memUsed) }, labels...)
+	r.GaugeFunc("ccdb_journal_bytes", func() float64 { return float64(s.cfg.Journal.Bytes()) }, labels...)
+	r.GaugeFunc("ccdb_patches", func() float64 { return float64(s.Patches()) }, labels...)
+	r.GaugeFunc("ccdb_compacting", func() float64 {
+		if s.Compacting() {
+			return 1
+		}
+		return 0
+	}, labels...)
+}
 
 // MemBytes returns the bytes buffered in the container.
 func (s *Slice) MemBytes() int { return s.memUsed }

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"sdf/internal/ccdb"
+	"sdf/internal/metrics"
 	"sdf/internal/sim"
 	"sdf/internal/trace"
 )
@@ -114,7 +115,8 @@ func DefaultConfig() Config {
 	}
 }
 
-// Stats are the group's cumulative counters.
+// Stats are the group's cumulative counters, read out of the same
+// metrics.Counter storage the registry exports (they cannot drift).
 type Stats struct {
 	// Puts counts fully acknowledged writes; Gets counts reads.
 	Puts, Gets int64
@@ -139,13 +141,25 @@ type Stats struct {
 	FailedRemounts int64
 }
 
+// groupCounters is the group's real counter storage. RegisterMetrics
+// adopts each field into a registry, so the exported series and the
+// Stats() snapshot are one set of numbers.
+type groupCounters struct {
+	puts, gets, failovers, repairs, lost  metrics.Counter
+	divergentPuts, hedges, rereplications metrics.Counter
+	remounts, failedRemounts              metrics.Counter
+}
+
 // Group is a replicated keyspace across nodes; nodes[0] is the
 // preferred (primary) read target.
 type Group struct {
 	env   *sim.Env
 	cfg   Config
 	nodes []*Node
-	stats Stats
+	ctr   groupCounters
+	// readLat is non-nil only when RegisterMetrics installed it;
+	// Histogram.Observe is nil-safe, so Get observes unconditionally.
+	readLat *metrics.Histogram
 }
 
 // NewGroup builds a group over the given nodes.
@@ -163,7 +177,59 @@ func (g *Group) Replicas() int { return len(g.nodes) }
 func (g *Group) Nodes() []*Node { return g.nodes }
 
 // Stats returns the group's cumulative counters.
-func (g *Group) Stats() Stats { return g.stats }
+func (g *Group) Stats() Stats {
+	return Stats{
+		Puts:           g.ctr.puts.Value(),
+		Gets:           g.ctr.gets.Value(),
+		Failovers:      g.ctr.failovers.Value(),
+		Repairs:        g.ctr.repairs.Value(),
+		Lost:           g.ctr.lost.Value(),
+		DivergentPuts:  g.ctr.divergentPuts.Value(),
+		Hedges:         g.ctr.hedges.Value(),
+		Rereplications: g.ctr.rereplications.Value(),
+		Remounts:       g.ctr.remounts.Value(),
+		FailedRemounts: g.ctr.failedRemounts.Value(),
+	}
+}
+
+// RegisterMetrics adopts the group's counters into r, installs a
+// cluster_read_latency histogram observed by every successful Get,
+// and a cluster_dirty_keys gauge (total keys awaiting repair across
+// replicas — the group's replication lag). The gauge callback reads
+// in-memory maps only and must stay park-free, per the GaugeFunc
+// contract.
+func (g *Group) RegisterMetrics(r *metrics.Registry, labels ...metrics.Label) {
+	if r == nil {
+		return
+	}
+	r.RegisterCounter("cluster_puts_total", &g.ctr.puts, labels...)
+	r.RegisterCounter("cluster_gets_total", &g.ctr.gets, labels...)
+	r.RegisterCounter("cluster_failovers_total", &g.ctr.failovers, labels...)
+	r.RegisterCounter("cluster_repairs_total", &g.ctr.repairs, labels...)
+	r.RegisterCounter("cluster_lost_reads_total", &g.ctr.lost, labels...)
+	r.RegisterCounter("cluster_divergent_puts_total", &g.ctr.divergentPuts, labels...)
+	r.RegisterCounter("cluster_hedges_total", &g.ctr.hedges, labels...)
+	r.RegisterCounter("cluster_rereplications_total", &g.ctr.rereplications, labels...)
+	r.RegisterCounter("cluster_remounts_total", &g.ctr.remounts, labels...)
+	r.RegisterCounter("cluster_failed_remounts_total", &g.ctr.failedRemounts, labels...)
+	g.readLat = r.Histogram("cluster_read_latency_seconds", labels...)
+	r.GaugeFunc("cluster_dirty_keys", func() float64 {
+		var n int
+		for _, node := range g.nodes {
+			n += len(node.dirty)
+		}
+		return float64(n)
+	}, labels...)
+	r.GaugeFunc("cluster_live_nodes", func() float64 {
+		var n int
+		for _, node := range g.nodes {
+			if node.alive {
+				n++
+			}
+		}
+		return float64(n)
+	}, labels...)
+}
 
 // CrashNode takes the named node out of service: subsequent puts skip
 // it (marking missed keys dirty) and reads fail over past it. It
@@ -219,13 +285,13 @@ func (g *Group) RestartNode(name string) bool {
 				slice, err := node.onRemount(p)
 				t.End(g.env.Now(), span)
 				if err != nil {
-					g.stats.FailedRemounts++
+					g.ctr.failedRemounts.Inc()
 					return
 				}
 				node.Slice = slice
 				node.lostPower = false
 				node.alive = true
-				g.stats.Remounts++
+				g.ctr.remounts.Inc()
 				g.rereplicate(p, node)
 			})
 			return true
@@ -302,11 +368,11 @@ func (g *Group) Put(p *sim.Proc, key string, value []byte, size int) error {
 		}
 	}
 	if firstErr == nil {
-		g.stats.Puts++
+		g.ctr.puts.Inc()
 		return nil
 	}
 	if acks > 0 {
-		g.stats.DivergentPuts++
+		g.ctr.divergentPuts.Inc()
 	}
 	return firstErr
 }
@@ -318,7 +384,8 @@ func (g *Group) Put(p *sim.Proc, key string, value []byte, size int) error {
 // replicas that failed to serve it — including nodes diverged by an
 // earlier partial Put.
 func (g *Group) Get(p *sim.Proc, key string) ([]byte, int, error) {
-	g.stats.Gets++
+	g.ctr.gets.Inc()
+	start := g.env.Now()
 	type result struct {
 		value []byte
 		size  int
@@ -342,9 +409,10 @@ func (g *Group) Get(p *sim.Proc, key string) ([]byte, int, error) {
 			r, node := res[i], g.nodes[i]
 			if r.err == nil {
 				if i > 0 {
-					g.stats.Failovers++
+					g.ctr.failovers.Inc()
 				}
 				node.nic.Transfer(p, r.size)
+				g.readLat.Observe(g.env.Now() - start)
 				g.repairAfterRead(node, key, r.value, r.size, failed)
 				return r.value, r.size, nil
 			}
@@ -367,13 +435,13 @@ func (g *Group) Get(p *sim.Proc, key string) ([]byte, int, error) {
 			next++ // crash-aware: never wait on a dead node
 		}
 		if len(outstanding) == 0 && next >= n {
-			g.stats.Lost++
+			g.ctr.lost.Inc()
 			return nil, 0, fmt.Errorf("%w: %q", ErrAllReplicasFailed, key)
 		}
 		hedgeable := g.cfg.HedgeAfter > 0 && len(outstanding) > 0
 		if next < n && (len(outstanding) == 0 || (hedgeable && g.env.Now() >= hedgeAt)) {
 			if len(outstanding) > 0 {
-				g.stats.Hedges++
+				g.ctr.hedges.Inc()
 				t := g.env.Tracer()
 				span := t.Begin(g.env.Now(), 0, "cluster/hedge", trace.PhaseFault)
 				t.End(g.env.Now(), span)
@@ -438,7 +506,7 @@ func (g *Group) repair(targets []*Node, key string, value []byte, size int) {
 			node.nic.Transfer(wp, size)
 			if err := node.Slice.Put(wp, key, value, size); err == nil {
 				delete(node.dirty, key)
-				g.stats.Repairs++
+				g.ctr.repairs.Inc()
 			}
 		})
 	}
@@ -469,7 +537,7 @@ func (g *Group) rereplicate(p *sim.Proc, node *Node) {
 			node.nic.Transfer(p, size)
 			if err := node.Slice.Put(p, key, value, size); err == nil {
 				delete(node.dirty, key)
-				g.stats.Rereplications++
+				g.ctr.rereplications.Inc()
 			}
 			break
 		}

@@ -17,6 +17,7 @@ import (
 
 	"sdf/internal/flashchan"
 	"sdf/internal/hostif"
+	"sdf/internal/metrics"
 	"sdf/internal/sim"
 	"sdf/internal/trace"
 )
@@ -214,6 +215,69 @@ func (d *Device) Channels() int { return len(d.channels) }
 // Channel returns channel i's engine, by analogy with the /dev/sda0 ..
 // /dev/sda43 device nodes the card exposes (§2.3, Figure 5).
 func (d *Device) Channel(i int) *flashchan.Channel { return d.channels[i] }
+
+// RegisterMetrics exports the device's observable state against r:
+// the host interface and software stack, plus cross-channel
+// aggregates (busy channels, total queue depth, cumulative bytes
+// moved, ECC failures, dead channels). Per-channel series are left to
+// flashchan.Channel.RegisterMetrics — a 44-channel card would
+// otherwise flood the sampler with hundreds of mostly-idle series.
+func (d *Device) RegisterMetrics(r *metrics.Registry, labels ...metrics.Label) {
+	if r == nil {
+		return
+	}
+	d.pcie.RegisterMetrics(r, labels...)
+	d.stack.RegisterMetrics(r, labels...)
+	r.CounterFunc("device_read_bytes_total", func() int64 {
+		var n int64
+		for _, ch := range d.channels {
+			rd, _, _ := ch.Counters()
+			n += rd
+		}
+		return n
+	}, labels...)
+	r.CounterFunc("device_written_bytes_total", func() int64 {
+		var n int64
+		for _, ch := range d.channels {
+			_, w, _ := ch.Counters()
+			n += w
+		}
+		return n
+	}, labels...)
+	r.CounterFunc("device_ecc_failures_total", func() int64 {
+		var n int64
+		for _, ch := range d.channels {
+			_, f := ch.ECCStats()
+			n += f
+		}
+		return n
+	}, labels...)
+	r.GaugeFunc("device_busy_channels", func() float64 {
+		var n int
+		for _, ch := range d.channels {
+			if !ch.Idle() {
+				n++
+			}
+		}
+		return float64(n)
+	}, labels...)
+	r.GaugeFunc("device_queue_depth", func() float64 {
+		var n int
+		for _, ch := range d.channels {
+			n += ch.QueueDepth()
+		}
+		return float64(n)
+	}, labels...)
+	r.GaugeFunc("device_dead_channels", func() float64 {
+		var n int
+		for _, ch := range d.channels {
+			if !ch.Alive() {
+				n++
+			}
+		}
+		return float64(n)
+	}, labels...)
+}
 
 // PageSize returns the read unit (8 KB).
 func (d *Device) PageSize() int { return d.channels[0].PageSize() }

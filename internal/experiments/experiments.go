@@ -14,6 +14,7 @@ import (
 	"sdf/internal/blocklayer"
 	"sdf/internal/core"
 	"sdf/internal/fault"
+	"sdf/internal/metrics"
 	"sdf/internal/sim"
 	"sdf/internal/ssd"
 	"sdf/internal/trace"
@@ -36,6 +37,11 @@ type Options struct {
 	// Stats, when non-nil, collects kernel counters from every sim.Env
 	// the experiment creates; RunAll sets it to report events/sec.
 	Stats *KernelStats
+	// Metrics enables the observability pipeline in experiments that
+	// support it (currently Faults): a per-device metrics registry, a
+	// virtual-time sampler, and an SLO engine. The results land in
+	// Table.Observability (sdfbench -metrics writes them out).
+	Metrics bool
 }
 
 // newEnv creates a simulation environment and registers it with the
@@ -66,6 +72,24 @@ type Table struct {
 	// rows (bytes/s, milliseconds, ratios), keyed by a stable
 	// dot-separated name, for machine-readable bench output.
 	Metrics map[string]float64
+	// Observability is the metrics/SLO payload collected when
+	// Options.Metrics was set and the experiment supports it.
+	Observability *Observability
+}
+
+// Observability carries an experiment's exported metrics: the
+// Prometheus text snapshot, the sampled time series, their SHA-256
+// fingerprints (byte-stable across seeded reruns, like trace hashes),
+// and the SLO engine's verdicts.
+type Observability struct {
+	SnapshotSHA256 string                    `json:"snapshot_sha256"`
+	SeriesSHA256   string                    `json:"series_sha256"`
+	SLO            []metrics.ObjectiveResult `json:"slo,omitempty"`
+	Alerts         int                       `json:"alerts"`
+	// Raw exports, written to METRICS_<exp>.prom / .jsonl by sdfbench
+	// -metrics; excluded from the BENCH JSON (the hashes stand in).
+	Snapshot []byte `json:"-"`
+	Series   []byte `json:"-"`
 }
 
 // metric records one raw measured value.

@@ -7,6 +7,7 @@ import (
 	"sdf/internal/core"
 	"sdf/internal/rpcnet"
 	"sdf/internal/sim"
+	"sdf/internal/ssd"
 )
 
 // AttachDevice registers an SDF device's fault surfaces under
@@ -45,6 +46,42 @@ func AttachDevice(inj *Injector, name string, dev *core.Device) {
 				ch.SetBERBoost(in.Rate)
 				if in.Duration > 0 {
 					return func() { ch.SetBERBoost(0) }
+				}
+			}
+			return nil
+		})
+	}
+	pcie := dev.PCIe()
+	inj.Register(name+"/pcie", func(in Injection) func() {
+		if in.Kind != LinkDegrade {
+			return nil
+		}
+		old := pcie.RateFactor()
+		pcie.SetRateFactor(in.Factor)
+		if in.Duration > 0 {
+			return func() { pcie.SetRateFactor(old) }
+		}
+		return nil
+	})
+}
+
+// AttachSSD registers a conventional SSD's fault surfaces under
+// "<name>/chan<i>" and "<name>/pcie", mirroring AttachDevice so the
+// same plan can drive either device kind. A channel kill or hang puts
+// the channel into degraded-parity mode — the drive's internal RAID
+// masks the loss and serves reconstruction reads — permanently for a
+// kill (or until its Duration elapses), and for the hang window for a
+// hang. Bad-block and ECC injections have no conventional-SSD surface
+// (the FTL hides media management entirely) and are ignored.
+func AttachSSD(inj *Injector, name string, dev *ssd.SSD) {
+	for i := 0; i < dev.Channels(); i++ {
+		ch := i
+		inj.Register(fmt.Sprintf("%s/chan%d", name, ch), func(in Injection) func() {
+			switch in.Kind {
+			case ChannelKill, ChannelHang:
+				dev.DegradeChannel(ch)
+				if in.Duration > 0 {
+					return func() { dev.RestoreChannel(ch) }
 				}
 			}
 			return nil

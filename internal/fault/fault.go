@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"sdf/internal/metrics"
 	"sdf/internal/sim"
 	"sdf/internal/trace"
 )
@@ -52,6 +53,22 @@ func (inj *Injector) Targets() []string {
 // faults have been reverted so far.
 func (inj *Injector) Stats() (applied, reverted int) {
 	return inj.applied, inj.reverted
+}
+
+// RegisterMetrics exports the injector's counters plus an
+// active-injections gauge (applied minus reverted: the timed faults
+// currently degrading the run, plus any permanent ones). Sampled over
+// time, the gauge marks exactly which windows of a run were under
+// fault — the time axis SLO violations line up against.
+func (inj *Injector) RegisterMetrics(r *metrics.Registry, labels ...metrics.Label) {
+	if r == nil {
+		return
+	}
+	r.CounterFunc("fault_applied_total", func() int64 { return int64(inj.applied) }, labels...)
+	r.CounterFunc("fault_reverted_total", func() int64 { return int64(inj.reverted) }, labels...)
+	r.GaugeFunc("fault_active_injections", func() float64 {
+		return float64(inj.applied - inj.reverted)
+	}, labels...)
 }
 
 // Arm validates the plan against the registered targets and schedules

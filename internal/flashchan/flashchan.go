@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"sdf/internal/bch"
+	"sdf/internal/metrics"
 	"sdf/internal/nand"
 	"sdf/internal/sim"
 	"sdf/internal/trace"
@@ -289,6 +290,37 @@ func (ch *Channel) Counters() (read, written, erased int64) {
 // ECCStats returns (corrected bit errors, uncorrectable sector reads).
 func (ch *Channel) ECCStats() (corrected, failures int64) {
 	return ch.eccCorrected, ch.eccFailures
+}
+
+// RegisterMetrics exports the channel's byte counters, ECC health,
+// and live engine state against r. The queue-depth and busy gauges
+// are the per-channel load signals the paper's scheduling discussion
+// (§3.3.1) watches; sampled on a virtual period they become the
+// plane-busy time series. Callbacks read in-memory state only and
+// must stay park-free, per the registry's callback contract.
+func (ch *Channel) RegisterMetrics(r *metrics.Registry, labels ...metrics.Label) {
+	if r == nil {
+		return
+	}
+	r.CounterFunc("flashchan_read_bytes_total", func() int64 { return ch.bytesRead }, labels...)
+	r.CounterFunc("flashchan_written_bytes_total", func() int64 { return ch.bytesWritten }, labels...)
+	r.CounterFunc("flashchan_erased_blocks_total", func() int64 { return ch.blocksErased }, labels...)
+	r.CounterFunc("flashchan_ecc_corrected_total", func() int64 { return ch.eccCorrected }, labels...)
+	r.CounterFunc("flashchan_ecc_failures_total", func() int64 { return ch.eccFailures }, labels...)
+	r.CounterFunc("flashchan_dead_rejects_total", func() int64 { return ch.deadRejects }, labels...)
+	r.GaugeFunc("flashchan_queue_depth", func() float64 { return float64(ch.QueueDepth()) }, labels...)
+	r.GaugeFunc("flashchan_busy", func() float64 {
+		if ch.Idle() {
+			return 0
+		}
+		return 1
+	}, labels...)
+	r.GaugeFunc("flashchan_alive", func() float64 {
+		if ch.Alive() {
+			return 1
+		}
+		return 0
+	}, labels...)
 }
 
 // Fault-injection hooks. These are the channel-level failure modes a

@@ -13,6 +13,7 @@ package hostif
 import (
 	"time"
 
+	"sdf/internal/metrics"
 	"sdf/internal/sim"
 	"sdf/internal/trace"
 )
@@ -89,6 +90,17 @@ func (i *Interface) SetRateFactor(f float64) {
 func (i *Interface) RateFactor() float64 { return i.read.RateFactor() }
 
 // Moved returns total (toHost, toDevice) bytes.
+// RegisterMetrics exports the interface's cumulative byte movement
+// and its current rate factor (1 = healthy; fault plans degrade it).
+func (i *Interface) RegisterMetrics(r *metrics.Registry, labels ...metrics.Label) {
+	if r == nil {
+		return
+	}
+	r.CounterFunc("hostif_to_host_bytes_total", func() int64 { return i.read.Moved() }, labels...)
+	r.CounterFunc("hostif_to_device_bytes_total", func() int64 { return i.write.Moved() }, labels...)
+	r.GaugeFunc("hostif_rate_factor", func() float64 { return i.read.RateFactor() }, labels...)
+}
+
 func (i *Interface) Moved() (toHost, toDevice int64) {
 	if i.read == i.write {
 		return i.read.Moved(), i.read.Moved()
@@ -143,6 +155,9 @@ type Stack struct {
 	env    *sim.Env
 	params StackParams
 	cpu    *sim.Timeline
+
+	submits  metrics.Counter
+	inflight int // requests between Submit and Complete
 }
 
 // NewStack builds a stack model on env.
@@ -157,8 +172,11 @@ func NewStack(env *sim.Env, params StackParams) *Stack {
 // Params returns the stack's parameters.
 func (s *Stack) Params() StackParams { return s.params }
 
-// Submit charges the request-issue cost.
+// Submit charges the request-issue cost. The request counts as in
+// flight until its Complete.
 func (s *Stack) Submit(p *sim.Proc) {
+	s.submits.Inc()
+	s.inflight++
 	span := s.env.Tracer().Begin(s.env.Now(), p.Span(), "stack/submit", trace.PhaseSoftware)
 	s.charge(p, s.params.SubmitCost)
 	s.env.Tracer().End(s.env.Now(), span)
@@ -173,6 +191,23 @@ func (s *Stack) Complete(p *sim.Proc) {
 	span := s.env.Tracer().Begin(s.env.Now(), p.Span(), "stack/complete", trace.PhaseSoftware)
 	s.charge(p, c)
 	s.env.Tracer().End(s.env.Now(), span)
+	if s.inflight > 0 {
+		s.inflight--
+	}
+}
+
+// Inflight returns how many requests are between Submit and Complete.
+func (s *Stack) Inflight() int { return s.inflight }
+
+// RegisterMetrics adopts the stack's request counter into r and
+// installs an in-flight gauge — the host-side queue depth the paper's
+// latency analysis cares about.
+func (s *Stack) RegisterMetrics(r *metrics.Registry, labels ...metrics.Label) {
+	if r == nil {
+		return
+	}
+	r.RegisterCounter("hostif_requests_total", &s.submits, labels...)
+	r.GaugeFunc("hostif_inflight_requests", func() float64 { return float64(s.inflight) }, labels...)
 }
 
 // PerRequestCost returns the total software time per request after

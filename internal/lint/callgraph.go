@@ -158,13 +158,13 @@ func (g *callGraph) addCall(n *funcNode, call *ast.CallExpr, detached bool, walk
 	walk(call.Fun, detached)
 	detachIdx := -1
 	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
-		recv := m.typeOf(sel.X)
-		if idx, ok := inlineCallbackMethods[sel.Sel.Name]; ok &&
-			(recv == nil || isSimNamed(recv, "Env") || isSimNamed(recv, "Timeline")) {
+		if idx, ok := inlineCallbackArg(m, sel, call); ok {
 			detachIdx = idx
 		}
-		if sel.Sel.Name == "Go" && (recv == nil || isSimNamed(recv, "Env")) {
-			detachIdx = 1 // (*sim.Env).Go(name, fn)
+		if sel.Sel.Name == "Go" {
+			if recv := m.typeOf(sel.X); recv == nil || isSimNamed(recv, "Env") {
+				detachIdx = 1 // (*sim.Env).Go(name, fn)
+			}
 		}
 	}
 	for i, arg := range call.Args {

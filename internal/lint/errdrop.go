@@ -7,19 +7,23 @@ import (
 	"strings"
 )
 
-// errDropPkgSuffixes names the crash-consistency-critical packages
-// (module-relative): the CCDB journal/WAL and storage path, raw NAND
-// media persistence, the flash-channel recovery machinery, and the
-// device layer that fronts them. The whole acked==journaled contract
+// errDropPkgSuffixes names the packages whose error results must not
+// be discarded (module-relative): the crash-consistency-critical path
+// — the CCDB journal/WAL and storage path, raw NAND media
+// persistence, the flash-channel recovery machinery, and the device
+// layer that fronts them — where the whole acked==journaled contract
 // (DESIGN.md "Crash consistency & recovery") flows through the error
-// results of these packages' APIs: a dropped error here means an
-// unacknowledged-but-assumed write, a torn block treated as durable,
-// or a recovery scan that silently lost state.
+// results (a dropped error means an unacknowledged-but-assumed write,
+// a torn block treated as durable, or a recovery scan that silently
+// lost state); and the metrics exporters, whose write errors are the
+// only signal that an export is truncated — a half-written snapshot
+// with a clean exit would silently break the byte-identity contract.
 var errDropPkgSuffixes = []string{
 	"internal/ccdb",
 	"internal/nand",
 	"internal/flashchan",
 	"internal/core",
+	"internal/metrics",
 }
 
 // ErrDrop flags discarded error results from the critical packages: a
@@ -29,7 +33,7 @@ var errDropPkgSuffixes = []string{
 // handled sensibly is a judgment the reviewer makes, not this tool.
 var ErrDrop = &Analyzer{
 	Name: "errdrop",
-	Doc:  "forbid discarding error results from ccdb/nand/flashchan/core persistence APIs",
+	Doc:  "forbid discarding error results from ccdb/nand/flashchan/core/metrics persistence and export APIs",
 	Applies: func(f *File) bool {
 		return !f.IsTest() && f.In("internal")
 	},

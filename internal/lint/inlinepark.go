@@ -12,13 +12,18 @@ import (
 // so calling a blocking Proc API from one — Wait, WaitUntil, Await,
 // Join, or anything that takes a *sim.Proc such as Acquire, Transfer,
 // Occupy or Queue.Get — deadlocks the simulation (see DESIGN.md,
-// "Kernel performance"). Spawning a fresh process with (*sim.Env).Go
-// from a callback is the legal way to re-enter blocking code, so Go
-// literals are not descended into. internal/sim itself is exempt: the
-// kernel parks and resumes processes as part of implementing them.
+// "Kernel performance"). The metrics registry's callback-backed
+// instruments ((*metrics.Registry).GaugeFunc and CounterFunc) carry
+// the same contract: the sampler and the exporters invoke those
+// callbacks inline — sometimes outside any process, after the run —
+// so they must be park-free reads. Spawning a fresh process with
+// (*sim.Env).Go from a callback is the legal way to re-enter blocking
+// code, so Go literals are not descended into. internal/sim itself is
+// exempt: the kernel parks and resumes processes as part of
+// implementing them.
 var InlinePark = &Analyzer{
 	Name: "inlinepark",
-	Doc:  "forbid blocking Proc calls inside inline scheduler callbacks (Schedule/OccupyAsync)",
+	Doc:  "forbid blocking Proc calls inside inline callbacks (Schedule/OccupyAsync/GaugeFunc/CounterFunc)",
 	Applies: func(f *File) bool {
 		return !f.IsTest() && f.In("internal") && !f.In("internal/sim")
 	},
@@ -31,11 +36,45 @@ var blockingProcMethods = map[string]bool{
 	"Wait": true, "WaitUntil": true, "Await": true, "Join": true,
 }
 
-// inlineCallbackMethods maps scheduler entry points that run a
-// callback inline to the argument index of that callback.
-var inlineCallbackMethods = map[string]int{
-	"Schedule":    1, // (*sim.Env).Schedule(d, fn)
-	"OccupyAsync": 1, // (*sim.Timeline).OccupyAsync(hold, fn)
+// inlineCallback describes one entry point whose callback argument
+// runs inline on the scheduler goroutine (or outside any process
+// entirely, for registry instruments read at export time).
+type inlineCallback struct {
+	arg int    // index of the callback argument
+	pkg string // receiver's package name
+	typ string // receiver's named type
+}
+
+// inlineCallbackMethods maps entry points that run a callback inline
+// to the callback argument index and the receiver type that owns the
+// method, so an unrelated type's same-named method is not matched.
+var inlineCallbackMethods = map[string][]inlineCallback{
+	"Schedule":    {{arg: 1, pkg: "sim", typ: "Env"}},          // (*sim.Env).Schedule(d, fn)
+	"OccupyAsync": {{arg: 1, pkg: "sim", typ: "Timeline"}},     // (*sim.Timeline).OccupyAsync(hold, fn)
+	"GaugeFunc":   {{arg: 1, pkg: "metrics", typ: "Registry"}}, // (*metrics.Registry).GaugeFunc(name, fn, labels...)
+	"CounterFunc": {{arg: 1, pkg: "metrics", typ: "Registry"}}, // (*metrics.Registry).CounterFunc(name, fn, labels...)
+}
+
+// inlineCallbackArg resolves a call to a registered inline-callback
+// entry point and returns the index of its callback argument. With
+// type information, the receiver must be the named type the entry
+// point belongs to; without it, the name alone matches — a false
+// positive is waivable, a missed deadlock is not.
+func inlineCallbackArg(m *Module, sel *ast.SelectorExpr, call *ast.CallExpr) (int, bool) {
+	cands, ok := inlineCallbackMethods[sel.Sel.Name]
+	if !ok {
+		return 0, false
+	}
+	recv := m.typeOf(sel.X)
+	for _, c := range cands {
+		if c.arg >= len(call.Args) {
+			continue
+		}
+		if recv == nil || isNamed(recv, c.pkg, c.typ) {
+			return c.arg, true
+		}
+	}
+	return 0, false
 }
 
 func runInlinePark(f *File) []Finding {
@@ -49,16 +88,8 @@ func runInlinePark(f *File) []Finding {
 		if !ok {
 			return true
 		}
-		idx, ok := inlineCallbackMethods[sel.Sel.Name]
-		if !ok || idx >= len(call.Args) {
-			return true
-		}
-		recv := f.Module.typeOf(sel.X)
-		// With type information, require the receiver to be the kernel
-		// type the entry point belongs to; without it, match the name
-		// alone — a false positive here is waivable, a missed deadlock
-		// is not.
-		if recv != nil && !isSimNamed(recv, "Env") && !isSimNamed(recv, "Timeline") {
+		idx, ok := inlineCallbackArg(f.Module, sel, call)
+		if !ok {
 			return true
 		}
 		if lit, ok := call.Args[idx].(*ast.FuncLit); ok {
@@ -86,7 +117,7 @@ func checkInlineCallback(f *File, entry string, lit *ast.FuncLit) []Finding {
 					return false // new process context: blocking is legal
 				}
 			}
-			if idx, ok := inlineCallbackMethods[sel.Sel.Name]; ok && idx < len(call.Args) {
+			if idx, ok := inlineCallbackArg(m, sel, call); ok {
 				if _, ok := call.Args[idx].(*ast.FuncLit); ok {
 					// A nested inline callback is scanned by the
 					// file-level walk; re-scanning it here would
@@ -115,10 +146,10 @@ func checkInlineCallback(f *File, entry string, lit *ast.FuncLit) []Finding {
 	return findings
 }
 
-// isSimNamed reports whether t (or its pointee) is the named type
-// sim.<name> — matched by type and package name so the fixture module
-// and the real module both qualify.
-func isSimNamed(t types.Type, name string) bool {
+// isNamed reports whether t (or its pointee) is the named type
+// <pkg>.<name> — matched by type and package name so the fixture
+// module and the real module both qualify.
+func isNamed(t types.Type, pkg, name string) bool {
 	if t == nil {
 		return false
 	}
@@ -130,8 +161,11 @@ func isSimNamed(t types.Type, name string) bool {
 		return false
 	}
 	obj := named.Obj()
-	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Name() == "sim"
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Name() == pkg
 }
+
+// isSimNamed reports whether t (or its pointee) is sim.<name>.
+func isSimNamed(t types.Type, name string) bool { return isNamed(t, "sim", name) }
 
 // isSimProcPtr reports whether t is *sim.Proc.
 func isSimProcPtr(t types.Type) bool {

@@ -62,12 +62,8 @@ func parkPathFile(g *callGraph, f *File) []Finding {
 		if !ok {
 			return true
 		}
-		idx, ok := inlineCallbackMethods[sel.Sel.Name]
-		if !ok || idx >= len(call.Args) {
-			return true
-		}
-		recv := m.typeOf(sel.X)
-		if recv != nil && !isSimNamed(recv, "Env") && !isSimNamed(recv, "Timeline") {
+		idx, ok := inlineCallbackArg(m, sel, call)
+		if !ok {
 			return true
 		}
 		if lit, ok := call.Args[idx].(*ast.FuncLit); ok {
@@ -95,7 +91,7 @@ func checkCallbackCalls(g *callGraph, f *File, entry string, lit *ast.FuncLit) [
 					return false // fresh process context: blocking is legal below here
 				}
 			}
-			if idx, ok := inlineCallbackMethods[sel.Sel.Name]; ok && idx < len(call.Args) {
+			if idx, ok := inlineCallbackArg(m, sel, call); ok {
 				if _, ok := call.Args[idx].(*ast.FuncLit); ok {
 					return false // a nested inline callback is scanned on its own
 				}

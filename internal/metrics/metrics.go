@@ -47,8 +47,13 @@ func bucketOf(d time.Duration) int {
 	return b
 }
 
-// Observe records one duration.
+// Observe records one duration. A nil histogram drops the sample, so
+// callers can observe into an instrument that only exists when a
+// metrics registry is attached.
 func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
 	h.counts[bucketOf(d)]++
 	h.count++
 	h.sum += d
@@ -61,14 +66,24 @@ func (h *Histogram) Observe(d time.Duration) {
 }
 
 // Count returns the number of observations.
-func (h *Histogram) Count() uint64 { return h.count }
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
 
 // Sum returns the total of all observations.
-func (h *Histogram) Sum() time.Duration { return h.sum }
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
 
 // Mean returns the average observation, or 0 if empty.
 func (h *Histogram) Mean() time.Duration {
-	if h.count == 0 {
+	if h == nil || h.count == 0 {
 		return 0
 	}
 	return h.sum / time.Duration(h.count)
@@ -76,14 +91,19 @@ func (h *Histogram) Mean() time.Duration {
 
 // Min returns the smallest observation, or 0 if empty.
 func (h *Histogram) Min() time.Duration {
-	if h.count == 0 {
+	if h == nil || h.count == 0 {
 		return 0
 	}
 	return h.min
 }
 
 // Max returns the largest observation.
-func (h *Histogram) Max() time.Duration { return h.max }
+func (h *Histogram) Max() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return h.max
+}
 
 // Quantile returns an approximation of the q-quantile (0 <= q <= 1),
 // interpolating linearly within the containing log bucket by the
@@ -93,14 +113,17 @@ func (h *Histogram) Max() time.Duration { return h.max }
 // The result is clamped to [Min, Max], which also keeps it monotone
 // in q at the edges.
 func (h *Histogram) Quantile(q float64) time.Duration {
-	if h.count == 0 {
+	if h == nil || h.count == 0 {
 		return 0
 	}
-	if q < 0 {
-		q = 0
+	if math.IsNaN(q) {
+		return 0 // NaN has no rank; 0 beats poisoning the caller's math
 	}
-	if q > 1 {
-		q = 1
+	if q <= 0 {
+		return h.Min() // exact: the 0-quantile is the smallest observation
+	}
+	if q >= 1 {
+		return h.Max() // exact: the 1-quantile is the largest observation
 	}
 	rank := uint64(q * float64(h.count-1))
 	var seen uint64
@@ -134,6 +157,64 @@ func (h *Histogram) String() string {
 		h.count, h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.Min(), h.Max())
 }
 
+// HistogramState is a point-in-time copy of a histogram's cumulative
+// buckets, taken with State. Two states bracket a window; Delta
+// recovers the distribution of just that window's observations, which
+// is what rolling-window quantile evaluation (the SLO engine) needs
+// from a cumulative instrument.
+type HistogramState struct {
+	counts []uint64
+	count  uint64
+	sum    time.Duration
+}
+
+// State snapshots the histogram's buckets. A nil histogram snapshots
+// as empty.
+func (h *Histogram) State() HistogramState {
+	if h == nil {
+		return HistogramState{}
+	}
+	return HistogramState{
+		counts: append([]uint64(nil), h.counts...),
+		count:  h.count,
+		sum:    h.sum,
+	}
+}
+
+// Count returns the observation count at snapshot time.
+func (s HistogramState) Count() uint64 { return s.count }
+
+// Delta returns a histogram holding the observations recorded after
+// prev and up to s (both snapshots of the same instrument). Exact
+// min/max are not recoverable from cumulative buckets, so the delta's
+// extremes are the bucket bounds of its lowest and highest non-empty
+// buckets — Quantile's clamping then stays within the window.
+func (s HistogramState) Delta(prev HistogramState) *Histogram {
+	h := NewHistogram()
+	if s.count <= prev.count {
+		return h
+	}
+	h.count = s.count - prev.count
+	h.sum = s.sum - prev.sum
+	for b := range h.counts {
+		var p uint64
+		if b < len(prev.counts) {
+			p = prev.counts[b]
+		}
+		if b < len(s.counts) && s.counts[b] > p {
+			h.counts[b] = s.counts[b] - p
+			hi := time.Duration(math.Pow(bucketBase, float64(b)+1))
+			if h.min == math.MaxInt64 {
+				h.min = time.Duration(math.Pow(bucketBase, float64(b)))
+			}
+			if hi > h.max {
+				h.max = hi
+			}
+		}
+	}
+	return h
+}
+
 // Meter accumulates a byte (or operation) count over virtual time and
 // reports rates.
 type Meter struct {
@@ -144,20 +225,36 @@ type Meter struct {
 // NewMeter returns a meter whose window starts at the given virtual time.
 func NewMeter(start time.Duration) *Meter { return &Meter{start: start} }
 
-// Add accumulates n units (bytes, ops).
-func (m *Meter) Add(n int64) { m.total += n }
+// Add accumulates n units (bytes, ops). Nil-safe, like the registry
+// instruments.
+func (m *Meter) Add(n int64) {
+	if m != nil {
+		m.total += n
+	}
+}
 
 // Total returns the accumulated count.
-func (m *Meter) Total() int64 { return m.total }
+func (m *Meter) Total() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.total
+}
 
 // Reset zeroes the count and restarts the window at the given time.
 func (m *Meter) Reset(now time.Duration) {
+	if m == nil {
+		return
+	}
 	m.total = 0
 	m.start = now
 }
 
 // Rate returns units per second over [start, now].
 func (m *Meter) Rate(now time.Duration) float64 {
+	if m == nil {
+		return 0
+	}
 	elapsed := (now - m.start).Seconds()
 	if elapsed <= 0 {
 		return 0

@@ -1,0 +1,216 @@
+package metrics
+
+import (
+	"fmt"
+	"time"
+
+	"sdf/internal/sim"
+	"sdf/internal/trace"
+)
+
+// ObjectiveKind selects how an Objective is evaluated each window.
+type ObjectiveKind string
+
+const (
+	// QuantileBelow evaluates the Q-quantile of the window's new
+	// histogram observations (delta between window snapshots) and
+	// violates when it exceeds Threshold seconds. Windows with no
+	// observations are not evaluated — no traffic is not a violation.
+	QuantileBelow ObjectiveKind = "quantile_below"
+	// AlwaysZero violates in any window where the counter's running
+	// total is non-zero ("zero lost reads": one loss taints every
+	// window from then on, matching how a lost read is permanent).
+	AlwaysZero ObjectiveKind = "always_zero"
+	// RateAbove evaluates the counter/meter delta per window as a
+	// units-per-second rate and violates when it falls below
+	// Threshold ("availability": the group kept serving").
+	RateAbove ObjectiveKind = "rate_above"
+)
+
+// Objective is one declarative service-level objective against a
+// registered series.
+type Objective struct {
+	// Name identifies the objective in reports and alert events.
+	Name string
+	// Kind selects the evaluation rule.
+	Kind ObjectiveKind
+	// Metric is the canonical series ID in the registry (Instrument.ID).
+	Metric string
+	// Q is the quantile for QuantileBelow (e.g. 0.99).
+	Q float64
+	// Threshold is seconds for QuantileBelow, units/second for
+	// RateAbove, unused for AlwaysZero.
+	Threshold float64
+	// Budget is the allowed fraction of evaluated windows that may
+	// violate before the objective is missed (the error budget). 0
+	// means any violation misses the objective.
+	Budget float64
+}
+
+// Alert is one deterministic violation event.
+type Alert struct {
+	At        time.Duration // virtual instant of the window's end
+	Objective string
+	Value     float64 // measured value that violated
+}
+
+// ObjectiveResult is one objective's outcome over the run.
+type ObjectiveResult struct {
+	Name       string  `json:"name"`
+	Metric     string  `json:"metric"`
+	Windows    int     `json:"windows"`    // windows evaluated
+	Violations int     `json:"violations"` // windows violated
+	Budget     float64 `json:"budget"`     // allowed violation fraction
+	Burn       float64 `json:"burn"`       // budget consumed: (violations/windows)/budget; >1 is missed
+	Met        bool    `json:"met"`
+}
+
+// String renders one line of an SLO report.
+func (r ObjectiveResult) String() string {
+	verdict := "met"
+	if !r.Met {
+		verdict = "VIOLATED"
+	}
+	return fmt.Sprintf("%-28s %-8s %3d/%3d windows violated, budget %.0f%%, burn %.0f%%",
+		r.Name, verdict, r.Violations, r.Windows, r.Budget*100, r.Burn*100)
+}
+
+// objState is one objective's rolling evaluation state.
+type objState struct {
+	obj        Objective
+	prevHist   HistogramState
+	prevScalar float64
+	windows    int
+	violations int
+}
+
+// SLO evaluates declarative objectives over rolling virtual-time
+// windows. It runs as a simulation process that wakes at every window
+// boundary, evaluates each objective against the registry, burns
+// error budget on violations, and emits a deterministic fault-phase
+// alert span into the trace for each violated window.
+type SLO struct {
+	env      *sim.Env
+	reg      *Registry
+	window   time.Duration
+	deadline time.Duration
+	states   []*objState
+	alerts   []Alert
+}
+
+// NewSLO starts an engine evaluating objs every window of virtual
+// time against reg. Objectives referencing series that are never
+// registered evaluate as empty (QuantileBelow skips, AlwaysZero and
+// RateAbove read zero).
+func NewSLO(env *sim.Env, reg *Registry, window time.Duration, objs ...Objective) *SLO {
+	if window <= 0 {
+		window = 100 * time.Millisecond
+	}
+	s := &SLO{env: env, reg: reg, window: window}
+	for _, o := range objs {
+		s.states = append(s.states, &objState{obj: o})
+	}
+	env.Go("metrics/slo", s.loop)
+	return s
+}
+
+// SetDeadline stops evaluation after the given virtual instant (the
+// window ending exactly at the deadline is still judged). Experiments
+// use it to exclude the post-horizon drain: with the load stopped, a
+// RateAbove objective would otherwise violate every idle window.
+func (s *SLO) SetDeadline(at time.Duration) { s.deadline = at }
+
+func (s *SLO) loop(p *sim.Proc) {
+	for {
+		p.Wait(s.window)
+		if s.deadline > 0 && s.env.Now() > s.deadline {
+			return
+		}
+		s.evaluate()
+	}
+}
+
+// evaluate closes one window: each objective is measured over the
+// window and checked against its threshold.
+func (s *SLO) evaluate() {
+	now := s.env.Now()
+	for _, st := range s.states {
+		in := s.reg.Get(st.obj.Metric)
+		switch st.obj.Kind {
+		case QuantileBelow:
+			var cur HistogramState
+			if in != nil && in.Histogram != nil {
+				cur = in.Histogram.State()
+			}
+			delta := cur.Delta(st.prevHist)
+			st.prevHist = cur
+			if delta.Count() == 0 {
+				continue // no observations: nothing to judge
+			}
+			st.windows++
+			if v := delta.Quantile(st.obj.Q).Seconds(); v > st.obj.Threshold {
+				s.violate(st, now, v)
+			}
+		case AlwaysZero:
+			st.windows++
+			var v float64
+			if in != nil {
+				v = in.value()
+			}
+			if v != 0 {
+				s.violate(st, now, v)
+			}
+		case RateAbove:
+			var v float64
+			if in != nil {
+				v = in.value()
+			}
+			delta := v - st.prevScalar
+			st.prevScalar = v
+			st.windows++
+			if rate := delta / s.window.Seconds(); rate < st.obj.Threshold {
+				s.violate(st, now, rate)
+			}
+		}
+	}
+}
+
+// violate burns budget for one window and emits the alert.
+func (s *SLO) violate(st *objState, now time.Duration, v float64) {
+	st.violations++
+	s.alerts = append(s.alerts, Alert{At: now, Objective: st.obj.Name, Value: v})
+	t := s.env.Tracer()
+	span := t.Begin(now, 0, "slo/alert:"+st.obj.Name, trace.PhaseFault)
+	t.End(now, span)
+}
+
+// Alerts returns every violation event in emission order.
+func (s *SLO) Alerts() []Alert { return s.alerts }
+
+// Report returns each objective's outcome in declaration order. An
+// objective with no evaluated windows is trivially met (burn 0).
+func (s *SLO) Report() []ObjectiveResult {
+	var out []ObjectiveResult
+	for _, st := range s.states {
+		r := ObjectiveResult{
+			Name:       st.obj.Name,
+			Metric:     st.obj.Metric,
+			Windows:    st.windows,
+			Violations: st.violations,
+			Budget:     st.obj.Budget,
+		}
+		if st.windows > 0 && st.violations > 0 {
+			frac := float64(st.violations) / float64(st.windows)
+			if st.obj.Budget > 0 {
+				r.Burn = frac / st.obj.Budget
+			} else {
+				// No budget to burn against: report the raw violation
+				// fraction; any violation at all misses the objective.
+				r.Burn = frac
+			}
+		}
+		r.Met = st.violations == 0 || (st.obj.Budget > 0 && r.Burn <= 1)
+		out = append(out, r)
+	}
+	return out
+}

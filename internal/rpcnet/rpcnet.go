@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"time"
 
+	"sdf/internal/metrics"
 	"sdf/internal/sim"
 	"sdf/internal/trace"
 )
@@ -77,6 +78,8 @@ type Network struct {
 	rng      *rand.Rand
 	lossRate float64
 
+	calls     metrics.Counter
+	inflight  int // Calls between entry and return
 	drops     int64
 	retries   int64
 	deadlines int64
@@ -117,6 +120,20 @@ func (n *Network) LossRate() float64 { return n.lossRate }
 // budgets exhausted).
 func (n *Network) Stats() (drops, retries, deadlines int64) {
 	return n.drops, n.retries, n.deadlines
+}
+
+// RegisterMetrics adopts the server's request counter into r and
+// exports its loss-recovery counters plus an in-flight RPC gauge (the
+// Calls currently between entry and return across all clients).
+func (n *Network) RegisterMetrics(r *metrics.Registry, labels ...metrics.Label) {
+	if r == nil {
+		return
+	}
+	r.RegisterCounter("rpc_calls_total", &n.calls, labels...)
+	r.CounterFunc("rpc_drops_total", func() int64 { return n.drops }, labels...)
+	r.CounterFunc("rpc_retries_total", func() int64 { return n.retries }, labels...)
+	r.CounterFunc("rpc_deadline_exceeded_total", func() int64 { return n.deadlines }, labels...)
+	r.GaugeFunc("rpc_inflight", func() float64 { return float64(n.inflight) }, labels...)
 }
 
 // dropRequest draws the loss lottery for one attempt. It performs no
@@ -163,6 +180,9 @@ type SubRequest func(p *sim.Proc) int
 // dominates. Call returns the total response bytes.
 func (c *Client) Call(p *sim.Proc, reqBytes int, batch []SubRequest) int {
 	n := c.net
+	n.calls.Inc()
+	n.inflight++
+	defer func() { n.inflight-- }()
 	p.Wait(n.cfg.RPCOverhead)
 	if reqBytes > 0 {
 		c.nic.Transfer(p, reqBytes)

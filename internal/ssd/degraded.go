@@ -1,0 +1,140 @@
+package ssd
+
+import (
+	"sdf/internal/hostif"
+	"sdf/internal/sim"
+	"sdf/internal/trace"
+)
+
+// Degraded-parity mode. The conventional SSD hides channel failures
+// behind its internal RAID (§2.2): when a channel dies, the drive
+// keeps serving, but every read of a page stored there is rebuilt by
+// reading the surviving stripe peers of its parity group, and every
+// write bound for the dead channel is redirected to a surviving
+// member. The masking is real — no data is lost — and so is its cost:
+// reconstruction multiplies flash reads and controller work by the
+// group width, which is exactly the latency tax SDF avoids by
+// dropping parity and failing over to a replica instead.
+
+// Channels returns the channel count, data and parity together.
+func (s *SSD) Channels() int { return len(s.channels) }
+
+// PCIe returns the host link, the degradation surface for link-level
+// fault injection.
+func (s *SSD) PCIe() *hostif.Interface { return s.iface }
+
+// DegradeChannel puts channel c into degraded-parity mode: its flash
+// becomes unreachable, reads of pages mapped there reconstruct from
+// the parity group, writes placed there redirect, and its background
+// GC parks. Degrading an already-degraded channel is a no-op.
+func (s *SSD) DegradeChannel(c int) {
+	if c < 0 || c >= len(s.channels) {
+		return
+	}
+	if s.degraded == nil {
+		s.degraded = make([]bool, len(s.channels))
+	}
+	s.degraded[c] = true
+}
+
+// RestoreChannel ends degraded mode for channel c (a firmware stall
+// that cleared, or a replaced channel after rebuild). Pages written
+// while degraded stay where they were redirected; pages still mapped
+// to c simply become readable again.
+func (s *SSD) RestoreChannel(c int) {
+	if s.degraded == nil || c < 0 || c >= len(s.channels) {
+		return
+	}
+	s.degraded[c] = false
+}
+
+// channelDegraded reports whether channel c is in degraded mode.
+func (s *SSD) channelDegraded(c int) bool {
+	return s.degraded != nil && c >= 0 && c < len(s.degraded) && s.degraded[c]
+}
+
+// DegradedChannels returns how many channels are currently degraded.
+func (s *SSD) DegradedChannels() int {
+	n := 0
+	for _, d := range s.degraded {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+// parityGroup returns the parity-group index of channel c, or -1 when
+// the profile has no parity.
+func (s *SSD) parityGroup(c int) int {
+	if s.prof.ParityRatio <= 0 || len(s.parityCh) == 0 {
+		return -1
+	}
+	g := c / (s.prof.ParityRatio + 1)
+	if g >= len(s.parityCh) {
+		g = len(s.parityCh) - 1
+	}
+	return g
+}
+
+// reconstructPage rebuilds one page of a degraded channel: the
+// controller reads the same stripe row from every surviving data
+// channel of the parity group plus the group's parity row, XORs them
+// (free in a timing model), and returns the result. The peer reads
+// run through the normal per-page path, so they are charged
+// controller processing, flash occupancy, and bus time — and they
+// load the surviving channels, which is why one dead channel degrades
+// the whole group's tail latency.
+func (s *SSD) reconstructPage(p *sim.Proc, dead int, lpn int64) {
+	g := s.parityGroup(dead)
+	if g < 0 {
+		return // no parity: the read simply returns no data (timing model)
+	}
+	t := s.env.Tracer()
+	span := t.Begin(s.env.Now(), p.Span(), "parity-rebuild", trace.PhaseFlash)
+	defer t.End(s.env.Now(), span)
+	s.rebuiltPages++
+
+	nData := int64(len(s.dataCh))
+	unit := int64(s.prof.StripePages)
+	row := lpn / (nData * unit)
+	within := lpn % unit
+	for idx, c := range s.dataCh {
+		if c == dead || s.channelDegraded(c) || s.parityGroup(c) != g {
+			continue
+		}
+		peer := (row*nData+int64(idx))*unit + within
+		if peer >= s.logicalPages {
+			continue // incomplete tail stripe
+		}
+		s.readPageMode(p, peer, false)
+	}
+	if pc := s.parityCh[g]; pc != dead && !s.channelDegraded(pc) {
+		prow := s.logicalPages + int64(g)*s.parityRows + row%s.parityRows
+		s.readPageMode(p, prow, false)
+	}
+}
+
+// redirectChannel picks the surviving channel that absorbs a write
+// bound for degraded channel c: the group's parity channel when it is
+// alive (RAID write-around — the slot's redundancy stands in for the
+// data), else the first live channel of the group, else the first
+// live channel of the device. Returns -1 when every channel is down.
+func (s *SSD) redirectChannel(c int) int {
+	if g := s.parityGroup(c); g >= 0 {
+		if pc := s.parityCh[g]; pc != c && !s.channelDegraded(pc) {
+			return pc
+		}
+		for _, dc := range s.dataCh {
+			if dc != c && dc/(s.prof.ParityRatio+1) == g && !s.channelDegraded(dc) {
+				return dc
+			}
+		}
+	}
+	for i := range s.channels {
+		if i != c && !s.channelDegraded(i) {
+			return i
+		}
+	}
+	return -1
+}

@@ -32,7 +32,10 @@ func (s *SSD) wlSpread() int {
 func (s *SSD) staticWLLoop(p *sim.Proc) {
 	for {
 		p.Wait(staticWLPeriod)
-		for _, ch := range s.channels {
+		for c, ch := range s.channels {
+			if s.channelDegraded(c) {
+				continue // unreachable flash: nothing to level
+			}
 			for _, pf := range ch.planes {
 				pf.maybeLevel(p)
 			}

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"sdf/internal/hostif"
+	"sdf/internal/metrics"
 	"sdf/internal/nand"
 	"sdf/internal/sim"
 	"sdf/internal/trace"
@@ -70,6 +71,7 @@ type SSD struct {
 	front *sim.Resource // host front-end: request intake, buffer ingest
 
 	channels     []*channel
+	degraded     []bool // per-channel degraded-parity mode (see degraded.go)
 	dataCh       []int
 	parityCh     []int
 	chips        []*nand.Chip
@@ -92,6 +94,7 @@ type SSD struct {
 	rmwReads       int64
 	gcRuns         int64
 	wlMoves        int64
+	rebuiltPages   int64
 }
 
 // New builds the SSD and starts its background processes (per-plane
@@ -261,11 +264,10 @@ func (s *SSD) Read(p *sim.Proc, off, size int64) error {
 		if !ok {
 			continue
 		}
-		ch := s.channels[c]
 		w := s.env.Go("ssd/read", func(wp *sim.Proc) {
 			wp.SetSpan(op)
 			for _, lpn := range lpns {
-				s.readPage(wp, ch, lpn)
+				s.readPage(wp, lpn)
 			}
 		})
 		workers = append(workers, w)
@@ -286,8 +288,19 @@ func (s *SSD) Read(p *sim.Proc, off, size int64) error {
 }
 
 // readPage fetches one page: controller processing, then flash read
-// and bus transfer (skipped on buffer hits and unmapped pages).
-func (s *SSD) readPage(p *sim.Proc, ch *channel, lpn int64) {
+// and bus transfer (skipped on buffer hits and unmapped pages). A
+// page whose flash sits on a degraded channel is reconstructed from
+// its parity group instead (degraded.go).
+func (s *SSD) readPage(p *sim.Proc, lpn int64) {
+	s.readPageMode(p, lpn, true)
+}
+
+// readPageMode is readPage with reconstruction control: peer reads
+// issued by a rebuild must not themselves rebuild, or two degraded
+// stripe members would recurse into each other forever. A peer that
+// is also unreachable contributes nothing beyond its controller tick
+// — in a timing model the XOR that covers it is free.
+func (s *SSD) readPageMode(p *sim.Proc, lpn int64, rebuild bool) {
 	s.ctrl.Use(p, func() { p.Wait(s.prof.ReadPageProc) })
 	if s.buffer != nil && s.buffer.contains(lpn) {
 		return // served from DRAM
@@ -296,7 +309,14 @@ func (s *SSD) readPage(p *sim.Proc, ch *channel, lpn int64) {
 	if l == unmapped {
 		return // never written: controller returns zeros
 	}
-	_, plane, block, page := unpackLoc(l)
+	chIdx, plane, block, page := unpackLoc(l)
+	if s.channelDegraded(chIdx) {
+		if rebuild {
+			s.reconstructPage(p, chIdx, lpn)
+		}
+		return
+	}
+	ch := s.channels[chIdx]
 	pf := ch.planes[plane]
 	if _, err := pf.plane.ReadPage(p, block, page); err != nil {
 		// The mapping may have moved under concurrent GC; retry once
@@ -334,7 +354,7 @@ func (s *SSD) Write(p *sim.Proc, off, size int64) error {
 		if partial && s.mapping[lpn] != unmapped {
 			// Read-modify-write: fetch the old page content first.
 			s.rmwReads++
-			s.readPage(p, s.channels[s.placement(lpn)], lpn)
+			s.readPage(p, lpn)
 		}
 		if s.buffer != nil {
 			s.front.Use(p, func() { p.Wait(s.prof.IngestProc) })
@@ -390,14 +410,24 @@ func (s *SSD) invalidate(lpn int64) {
 }
 
 // flashWrite programs one logical page to flash through the striped
-// placement, then accounts parity traffic.
+// placement, then accounts parity traffic. Placement onto a degraded
+// channel is redirected to a surviving group member; parity is still
+// accounted against the original group.
 func (s *SSD) flashWrite(p *sim.Proc, lpn int64) {
 	c := s.placement(lpn)
+	group := c
+	if s.channelDegraded(c) {
+		r := s.redirectChannel(c)
+		if r < 0 {
+			return // every channel is down: the write is unserviceable
+		}
+		c = r
+	}
 	ch := s.channels[c]
 	pf := ch.planes[ch.next%len(ch.planes)]
 	ch.next++
 	pf.hostProgram(p, lpn)
-	s.parityTick(p, c)
+	s.parityTick(p, group)
 }
 
 // parityTick emits one parity-page write per ParityRatio data pages
@@ -419,6 +449,12 @@ func (s *SSD) parityTick(p *sim.Proc, c int) {
 	s.parityCur[g] = (s.parityCur[g] + 1) % s.parityRows
 	s.ctrl.Use(p, func() { p.Wait(s.prof.WritePageProc) })
 	pc := s.placement(row)
+	if s.channelDegraded(pc) {
+		pc = s.redirectChannel(pc)
+		if pc < 0 {
+			return
+		}
+	}
 	ch := s.channels[pc]
 	pf := ch.planes[ch.next%len(ch.planes)]
 	ch.next++
@@ -533,6 +569,9 @@ func (pf *planeFTL) gcLoop(p *sim.Proc) {
 		}
 		pf.gcKick = sim.NewSignal(pf.ssd.env)
 		for len(pf.free) <= prof.GCLowWater {
+			if pf.ssd.channelDegraded(pf.ch) {
+				break // dead channel: its flash is unreachable, GC parks
+			}
 			pf.gcMu.Acquire(p)
 			victim := pf.pickVictim()
 			if victim < 0 {
@@ -636,6 +675,7 @@ type Stats struct {
 	HostWriteBytes int64
 	HostPages      int64 // pages written by the host
 	GCMovedPages   int64
+	RebuiltPages   int64 // pages served by degraded-parity reconstruction
 	ParityPages    int64
 	RMWReads       int64
 	GCRuns         int64
@@ -679,6 +719,28 @@ func (s *SSD) Wear() (min, max int) {
 	return min, max
 }
 
+// RegisterMetrics exports the SSD's controller counters and degraded-
+// parity state against r: host traffic, GC and parity activity, pages
+// served by stripe reconstruction, write-buffer depth, and how many
+// channels are currently running degraded. Callbacks read plain
+// fields only — park-free, per the registry's callback contract.
+func (s *SSD) RegisterMetrics(r *metrics.Registry, labels ...metrics.Label) {
+	if r == nil {
+		return
+	}
+	s.iface.RegisterMetrics(r, labels...)
+	s.stack.RegisterMetrics(r, labels...)
+	r.CounterFunc("ssd_host_read_bytes_total", func() int64 { return s.hostReadBytes }, labels...)
+	r.CounterFunc("ssd_host_write_bytes_total", func() int64 { return s.hostWriteBytes }, labels...)
+	r.CounterFunc("ssd_gc_moved_pages_total", func() int64 { return s.gcMoved }, labels...)
+	r.CounterFunc("ssd_gc_runs_total", func() int64 { return s.gcRuns }, labels...)
+	r.CounterFunc("ssd_parity_pages_total", func() int64 { return s.parityPages }, labels...)
+	r.CounterFunc("ssd_rmw_reads_total", func() int64 { return s.rmwReads }, labels...)
+	r.CounterFunc("ssd_rebuilt_pages_total", func() int64 { return s.rebuiltPages }, labels...)
+	r.GaugeFunc("ssd_buffer_depth_pages", func() float64 { return float64(s.buffer.depth()) }, labels...)
+	r.GaugeFunc("ssd_degraded_channels", func() float64 { return float64(s.DegradedChannels()) }, labels...)
+}
+
 // Stats returns a snapshot of device counters.
 func (s *SSD) Stats() Stats {
 	st := Stats{
@@ -686,6 +748,7 @@ func (s *SSD) Stats() Stats {
 		HostWriteBytes: s.hostWriteBytes,
 		HostPages:      s.hostPages,
 		GCMovedPages:   s.gcMoved,
+		RebuiltPages:   s.rebuiltPages,
 		ParityPages:    s.parityPages,
 		RMWReads:       s.rmwReads,
 		GCRuns:         s.gcRuns,
