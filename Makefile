@@ -51,10 +51,15 @@ chaos-smoke:
 	$(GO) run ./cmd/sdfctl bench diff BENCH_faults_a.json BENCH_faults.json
 	rm -f chaos-b.json chaos-b.jsonl BENCH_faults_a.json
 
-# recovery-smoke runs the crash-and-remount experiment twice and
-# requires byte-identical recovery traces and bench JSON: the same
-# media damage, the same mount-time scan, the same recovery latency,
-# every run (DESIGN.md "Crash consistency & recovery").
+# recovery-smoke runs the crash-and-remount experiment — including
+# its scheduled recurring-powerloss plan — twice and requires
+# byte-identical recovery traces and bench JSON: the same media
+# damage, the same mount-time scan, the same recovery latency, every
+# run. It then checks the bounded-recovery contract through the
+# operator tooling: checkpointed probe counts must stay roughly flat
+# across the fill sweep and journal replay must cover only the
+# post-truncation tail (DESIGN.md "Crash consistency & recovery",
+# "Bounded recovery").
 recovery-smoke:
 	$(GO) run ./cmd/sdfbench -quick -json -trace recovery-a.json recovery
 	mv BENCH_recovery.json BENCH_recovery_a.json
@@ -62,6 +67,7 @@ recovery-smoke:
 	cmp recovery-a.json recovery-b.json
 	cmp recovery-a.jsonl recovery-b.jsonl
 	$(GO) run ./cmd/sdfctl bench diff BENCH_recovery_a.json BENCH_recovery.json
+	$(GO) run ./cmd/sdfctl recovery report BENCH_recovery.json
 	rm -f recovery-b.json recovery-b.jsonl BENCH_recovery_a.json
 
 # metrics-smoke runs the fault-injected availability experiment twice

@@ -45,6 +45,14 @@
 //	          pipeline on and print each objective's verdict and error
 //	          budget burn (quick windows by default; -full runs the
 //	          full-length experiment)
+//
+//	recovery report <BENCH_recovery.json>
+//	          print the recovery experiment's checkpoint and journal
+//	          stats per fill level and enforce the bounded-recovery
+//	          contract: checkpointed probe counts must stay roughly
+//	          flat across the fill sweep (and beat the full scan at
+//	          every fill), and journal replay must cover only the
+//	          post-truncation tail; exit 1 on any violation
 package main
 
 import (
@@ -135,10 +143,97 @@ func main() {
 			planPath = args[1]
 		}
 		sloReport(planPath, quick)
+	case "recovery":
+		if flag.NArg() != 3 || flag.Arg(1) != "report" {
+			fmt.Fprintln(os.Stderr, "usage: sdfctl recovery report <BENCH_recovery.json>")
+			os.Exit(2)
+		}
+		recoveryReport(flag.Arg(2))
 	default:
 		fmt.Fprintf(os.Stderr, "sdfctl: unknown command %q\n", flag.Arg(0))
 		os.Exit(2)
 	}
+}
+
+// recoveryReport reads a BENCH_recovery.json written by sdfbench,
+// prints the checkpoint and journal stats behind the recovery table,
+// and enforces the bounded-recovery contract the checkpoint and the
+// truncating journal exist to provide. CI's recovery-smoke runs it so
+// a regression that quietly reverts recovery to O(device fill) fails
+// the build, not just the eyeball.
+func recoveryReport(path string) {
+	doc := loadBenchFields(path)
+	metricsAny, ok := doc["metrics"].(map[string]any)
+	if !ok {
+		log.Fatalf("%s: no metrics block", path)
+	}
+	met := func(key string) float64 {
+		v, ok := metricsAny[key].(float64)
+		if !ok {
+			log.Fatalf("%s: metric %q missing", path, key)
+		}
+		return v
+	}
+	rows, _ := doc["rows"].([]any)
+	var fills []string
+	for _, r := range rows {
+		cells, _ := r.([]any)
+		if len(cells) > 0 {
+			if fill, _ := cells[0].(string); len(fill) > 1 {
+				fills = append(fills, fill[:len(fill)-1])
+			}
+		}
+	}
+	if len(fills) == 0 {
+		log.Fatalf("%s: no fill rows", path)
+	}
+
+	violations := 0
+	fmt.Printf("checkpointed recovery bound (%s):\n", path)
+	fmt.Printf("  %-6s %14s %14s %10s %12s %12s\n",
+		"fill", "scan probes", "cp probes", "cp hits", "scan time", "cp time")
+	for _, f := range fills {
+		full := met("recovery_probed_pages_f" + f)
+		cp := met("recovery_cp_probed_pages_f" + f)
+		verdict := ""
+		if cp <= 0 || cp >= full {
+			verdict = "  VIOLATED: checkpointed scan not cheaper than full scan"
+			violations++
+		}
+		fmt.Printf("  %-6s %14.0f %14.0f %10.0f %9.2f ms %9.2f ms%s\n",
+			f+"%", full, cp,
+			met("recovery_cp_hits_f"+f),
+			met("recovery_ms_f"+f), met("recovery_cp_ms_f"+f), verdict)
+	}
+	cpLo := met("recovery_cp_probed_pages_f" + fills[0])
+	cpHi := met("recovery_cp_probed_pages_f" + fills[len(fills)-1])
+	fmt.Printf("  cp probe spread %.0f -> %.0f across the sweep (%.2fx; full scan %.0f -> %.0f)\n",
+		cpLo, cpHi, cpHi/cpLo,
+		met("recovery_probed_pages_f"+fills[0]),
+		met("recovery_probed_pages_f"+fills[len(fills)-1]))
+	if cpHi > 2*cpLo {
+		fmt.Println("  VIOLATED: checkpointed probes grew with fill; recovery is not bounded by post-checkpoint writes")
+		violations++
+	}
+
+	acked := met("recovery_journal_puts_acked")
+	truncated := met("recovery_journal_truncated_puts")
+	replayed := met("recovery_journal_replayed")
+	fmt.Printf("journal: %.0f puts acked, %.0f truncated at the flush watermark, %.0f replayed at remount (%.0f B of log at the crash)\n",
+		acked, truncated, replayed, met("recovery_journal_bytes_at_crash"))
+	if truncated == 0 {
+		fmt.Println("  VIOLATED: journal never truncated; replay is unbounded")
+		violations++
+	}
+	if replayed == 0 || replayed >= acked {
+		fmt.Println("  VIOLATED: journal replay not bounded to the post-truncation tail")
+		violations++
+	}
+	if violations > 0 {
+		fmt.Fprintf(os.Stderr, "sdfctl: %d bounded-recovery violations in %s\n", violations, path)
+		os.Exit(1)
+	}
+	fmt.Println("bounded-recovery contract holds")
 }
 
 // benchDiff compares two BENCH_<experiment>.json files on their

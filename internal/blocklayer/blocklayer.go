@@ -96,6 +96,12 @@ type chanState struct {
 	dirty  []int // invalidated, erase pending
 	work   *sim.Signal
 
+	// scrubBacklog is how many of the channel's pending erases are
+	// crash-suspect blocks (torn writes, partial erases) queued by
+	// Mount for an eager scrub: while it is positive the eraser does
+	// not wait for channel idle time.
+	scrubBacklog int
+
 	consecErrs       int
 	quarantinedUntil time.Duration // virtual instant quarantine lifts
 	quarantines      metrics.Counter
@@ -119,6 +125,7 @@ type Layer struct {
 	reads            metrics.Counter
 	readRetries      metrics.Counter
 	placementSkips   metrics.Counter
+	scrubs           metrics.Counter
 }
 
 // New builds the layer; all device blocks start as dirty (needing an
@@ -456,6 +463,15 @@ func (l *Layer) Stats() (writes, reads, inline, background int64) {
 	return l.writes.Value(), l.reads.Value(), l.inlineErases.Value(), l.backgroundErases.Value()
 }
 
+// ScrubStats returns (blocks scrubbed so far, suspect blocks still
+// awaiting their eager re-erase).
+func (l *Layer) ScrubStats() (scrubbed int64, pending int) {
+	for _, cs := range l.chans {
+		pending += cs.scrubBacklog
+	}
+	return l.scrubs.Value(), pending
+}
+
 // HealthStats returns aggregate degraded-mode counters: quarantine
 // events across all channels, read retries performed, and writes
 // placed away from their policy channel because it was unhealthy.
@@ -483,6 +499,7 @@ func (l *Layer) RegisterMetrics(r *metrics.Registry, labels ...metrics.Label) {
 	r.RegisterCounter("blocklayer_background_erases_total", &l.backgroundErases, labels...)
 	r.RegisterCounter("blocklayer_read_retries_total", &l.readRetries, labels...)
 	r.RegisterCounter("blocklayer_placement_skips_total", &l.placementSkips, labels...)
+	r.RegisterCounter("blocklayer_scrubbed_blocks_total", &l.scrubs, labels...)
 	for c, cs := range l.chans {
 		r.RegisterCounter("blocklayer_quarantines_total", &cs.quarantines,
 			append(append([]metrics.Label(nil), labels...), metrics.L("chan", fmt.Sprint(c)))...)
@@ -531,7 +548,11 @@ func (l *Layer) eraseLoop(p *sim.Proc, c int) {
 			cs.work = sim.NewSignal(l.env)
 			continue
 		}
-		if !l.dev.Channel(c).Idle() {
+		// A scrub backlog (crash-suspect blocks queued by Mount) is
+		// drained eagerly — suspect media must not sit in the pool
+		// waiting for an idle window.
+		scrub := cs.scrubBacklog > 0
+		if !scrub && !l.dev.Channel(c).Idle() {
 			p.Wait(l.cfg.IdlePollInterval)
 			continue
 		}
@@ -546,10 +567,19 @@ func (l *Layer) eraseLoop(p *sim.Proc, c int) {
 				l.recordError(c, err)
 				continue
 			}
-			// Worn out or spare-exhausted; dropped from circulation.
+			// Worn out or spare-exhausted; dropped from circulation —
+			// a dropped suspect block shrinks the scrub backlog too.
+			if scrub {
+				cs.scrubBacklog--
+			}
 			continue
 		}
 		cs.erased = append(cs.erased, lbn)
-		l.backgroundErases.Inc()
+		if scrub {
+			cs.scrubBacklog--
+			l.scrubs.Inc()
+		} else {
+			l.backgroundErases.Inc()
+		}
 	}
 }

@@ -28,6 +28,16 @@ type MountStats struct {
 	// QuarantinedChannels is how many channels entered an initial
 	// quarantine window because their media held crash damage.
 	QuarantinedChannels int
+	// CheckpointsFound counts channels that mounted from a valid FTL
+	// checkpoint; CheckpointHits counts physical blocks those
+	// checkpoints vouched for (single-probe validation instead of a
+	// full out-of-band walk — DESIGN.md §14).
+	CheckpointsFound int
+	CheckpointHits   int
+	// ScrubQueued is how many crash-suspect blocks (torn writes,
+	// partial erases) were queued for an eager background re-erase
+	// before rejoining the free pool.
+	ScrubQueued int
 }
 
 // Mount rebuilds a block layer over a remounted device: it runs every
@@ -58,6 +68,10 @@ func Mount(p *sim.Proc, env *sim.Env, dev *core.Device, cfg Config) (*Layer, Mou
 		st.PartialErases += rep.PartialErases
 		st.ScannedBlocks += rep.ScannedBlocks
 		st.ProbedPages += rep.ProbedPages
+		if rep.CheckpointFound {
+			st.CheckpointsFound++
+		}
+		st.CheckpointHits += rep.CheckpointHits
 		recovered := make(map[int]bool, len(rep.Recovered))
 		for _, rb := range rep.Recovered {
 			if !rb.Tagged {
@@ -85,6 +99,17 @@ func Mount(p *sim.Proc, env *sim.Env, dev *core.Device, cfg Config) (*Layer, Mou
 		if rep.TornBlocks > 0 || rep.PartialErases > 0 {
 			l.quarantine(c)
 			st.QuarantinedChannels++
+			// Torn-block scrubbing: crash-damaged media gets that many
+			// eager re-erases — the eraser skips its idle wait until
+			// the suspect backlog is scrubbed, so partially-programmed
+			// and partially-erased blocks are cleaned before the pool
+			// re-enters steady-state circulation.
+			suspect := rep.TornBlocks + rep.PartialErases
+			if suspect > len(cs.dirty) {
+				suspect = len(cs.dirty)
+			}
+			cs.scrubBacklog = suspect
+			st.ScrubQueued += suspect
 		}
 	}
 	l.startErasers()

@@ -61,7 +61,17 @@ type Journal struct {
 	manifest []manifestRecord
 	nextRun  uint64
 	halted   bool
+	// compactions counts manifest rewrites; truncatedPuts counts log
+	// records dropped at flush watermarks. Both feed the registry.
+	compactions   int64
+	truncatedPuts int64
 }
+
+// manifestSlack is how many dead manifest records are tolerated before
+// a rewrite: the manifest is compacted once it exceeds twice the live
+// record count plus this slack, so replay work stays proportional to
+// live state rather than to lifetime churn.
+const manifestSlack = 64
 
 // NewJournal returns an empty journal.
 func NewJournal() *Journal { return &Journal{} }
@@ -135,12 +145,15 @@ func (j *Journal) appendRun(tier int, pts []*patch) bool {
 	return true
 }
 
-// appendDel records a patch retirement.
+// appendDel records a patch retirement. Dels are what turn manifest
+// records dead (the del itself plus the add it cancels), so this is
+// the growth edge that triggers compaction.
 func (j *Journal) appendDel(ref Ref) {
 	if j == nil || j.halted {
 		return
 	}
 	j.manifest = append(j.manifest, manifestRecord{op: manifestDel, ref: ref})
+	j.maybeCompact()
 }
 
 // truncate drops the oldest n log records once the patch holding
@@ -150,6 +163,112 @@ func (j *Journal) truncate(n int) {
 		return
 	}
 	j.puts = append([]logRecord(nil), j.puts[n:]...)
+	j.truncatedPuts += int64(n)
+}
+
+// ManifestRecords returns the current manifest length — the replay
+// work a mount would do right now.
+func (j *Journal) ManifestRecords() int {
+	if j == nil {
+		return 0
+	}
+	return len(j.manifest)
+}
+
+// Compactions returns how many times the manifest has been rewritten.
+func (j *Journal) Compactions() int64 {
+	if j == nil {
+		return 0
+	}
+	return j.compactions
+}
+
+// TruncatedPuts returns the lifetime count of log records retired at
+// flush watermarks.
+func (j *Journal) TruncatedPuts() int64 {
+	if j == nil {
+		return 0
+	}
+	return j.truncatedPuts
+}
+
+// rebuiltRun is one run reassembled from manifest replay, keyed by the
+// (tier, run ID) its adds named.
+type rebuiltRun struct {
+	tier  int
+	runID uint64
+	r     run
+}
+
+// replayManifest folds the manifest into the runs that survive it: an
+// add appends its patch to the run named by (tier, run ID) — a new run
+// ID opens a new run of its tier, in manifest order, which is the
+// original insertion order, so newest-wins lookups keep working — and
+// a del removes the patch wherever it lives. A del for an unknown ref
+// is a no-op: retiring an aborted compaction output journals a del for
+// a ref that was never added.
+func (j *Journal) replayManifest() []*rebuiltRun {
+	var runs []*rebuiltRun
+	for i := range j.manifest {
+		rec := &j.manifest[i]
+		switch rec.op {
+		case manifestAdd:
+			var rr *rebuiltRun
+			for _, cand := range runs {
+				if cand.tier == rec.tier && cand.runID == rec.runID {
+					rr = cand
+					break
+				}
+			}
+			if rr == nil {
+				rr = &rebuiltRun{tier: rec.tier, runID: rec.runID}
+				runs = append(runs, rr)
+			}
+			rr.r = append(rr.r, &patch{ref: rec.ref, keys: rec.keys, offs: rec.offs, sizes: rec.sizes})
+		case manifestDel:
+		del:
+			for _, rr := range runs {
+				for k, pt := range rr.r {
+					if pt.ref == rec.ref {
+						rr.r = append(rr.r[:k], rr.r[k+1:]...)
+						break del
+					}
+				}
+			}
+		}
+	}
+	return runs
+}
+
+// maybeCompact rewrites the manifest down to its live records once the
+// dead fraction dominates. The rewrite replays the current manifest
+// and re-emits one add per surviving patch, preserving run grouping
+// and order, so a mount replaying the compacted manifest rebuilds
+// byte-identical tiers. It is skipped while halted: a compaction
+// racing the power cut must not reorder what the crash preserved.
+func (j *Journal) maybeCompact() {
+	if j == nil || j.halted {
+		return
+	}
+	runs := j.replayManifest()
+	live := 0
+	for _, rr := range runs {
+		live += len(rr.r)
+	}
+	if len(j.manifest) <= 2*live+manifestSlack {
+		return
+	}
+	compacted := make([]manifestRecord, 0, live)
+	for _, rr := range runs {
+		for _, pt := range rr.r {
+			compacted = append(compacted, manifestRecord{
+				op: manifestAdd, ref: pt.ref, tier: rr.tier, runID: rr.runID,
+				keys: pt.keys, offs: pt.offs, sizes: pt.sizes,
+			})
+		}
+	}
+	j.manifest = compacted
+	j.compactions++
 }
 
 // ReplayReport summarizes a MountSlice rebuild.
@@ -195,47 +314,9 @@ func MountSlice(p *sim.Proc, env *sim.Env, store Storage, cfg Config) (*Slice, R
 	}
 	rep.ManifestRecords = len(j.manifest)
 
-	// Replay the manifest: an add appends its patch to the run named
-	// by (tier, run ID) — a new run ID opens a new run of its tier,
-	// in manifest order, which is the original insertion order, so
-	// newest-wins lookups keep working — and a del removes the patch
-	// wherever it lives. A del for an unknown ref is a no-op:
-	// retiring an aborted compaction output journals a del for a ref
-	// that was never added.
-	type rebuilt struct {
-		tier  int
-		runID uint64
-		r     run
-	}
-	var runs []*rebuilt
-	for i := range j.manifest {
-		rec := &j.manifest[i]
-		switch rec.op {
-		case manifestAdd:
-			var rr *rebuilt
-			for _, cand := range runs {
-				if cand.tier == rec.tier && cand.runID == rec.runID {
-					rr = cand
-					break
-				}
-			}
-			if rr == nil {
-				rr = &rebuilt{tier: rec.tier, runID: rec.runID}
-				runs = append(runs, rr)
-			}
-			rr.r = append(rr.r, &patch{ref: rec.ref, keys: rec.keys, offs: rec.offs, sizes: rec.sizes})
-		case manifestDel:
-		del:
-			for _, rr := range runs {
-				for k, pt := range rr.r {
-					if pt.ref == rec.ref {
-						rr.r = append(rr.r[:k], rr.r[k+1:]...)
-						break del
-					}
-				}
-			}
-		}
-	}
+	// Replay the manifest into the runs that survive it (see
+	// replayManifest for the fold semantics).
+	runs := j.replayManifest()
 	for _, rr := range runs {
 		if len(rr.r) == 0 {
 			continue

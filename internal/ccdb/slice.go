@@ -174,6 +174,9 @@ func (s *Slice) RegisterMetrics(r *metrics.Registry, labels ...metrics.Label) {
 	r.CounterFunc("ccdb_compaction_reads_total", func() int64 { return s.stats.CompactionReads }, labels...)
 	r.GaugeFunc("ccdb_mem_bytes", func() float64 { return float64(s.memUsed) }, labels...)
 	r.GaugeFunc("ccdb_journal_bytes", func() float64 { return float64(s.cfg.Journal.Bytes()) }, labels...)
+	r.GaugeFunc("ccdb_manifest_records", func() float64 { return float64(s.cfg.Journal.ManifestRecords()) }, labels...)
+	r.CounterFunc("ccdb_manifest_compactions_total", func() int64 { return s.cfg.Journal.Compactions() }, labels...)
+	r.CounterFunc("ccdb_journal_truncated_puts_total", func() int64 { return s.cfg.Journal.TruncatedPuts() }, labels...)
 	r.GaugeFunc("ccdb_patches", func() float64 { return float64(s.Patches()) }, labels...)
 	r.GaugeFunc("ccdb_compacting", func() float64 {
 		if s.Compacting() {

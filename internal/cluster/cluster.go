@@ -58,6 +58,10 @@ type Node struct {
 	// node's device holds persistent media state and must be
 	// remounted (onRemount) before it can serve again.
 	lostPower bool
+	// catchingUp marks a node that rejoined the group but whose
+	// restart-time re-replication is still in flight: it can serve,
+	// but the group routes reads to settled replicas first.
+	catchingUp bool
 	onFail    func()
 	onRemount func(p *sim.Proc) (*ccdb.Slice, error)
 }
@@ -139,6 +143,9 @@ type Stats struct {
 	// that errored, leaving the node down.
 	Remounts       int64
 	FailedRemounts int64
+	// DeprioritizedReads counts reads routed around a replica that was
+	// mid-catch-up (remounted or restarted, re-replication in flight).
+	DeprioritizedReads int64
 }
 
 // groupCounters is the group's real counter storage. RegisterMetrics
@@ -148,6 +155,7 @@ type groupCounters struct {
 	puts, gets, failovers, repairs, lost  metrics.Counter
 	divergentPuts, hedges, rereplications metrics.Counter
 	remounts, failedRemounts              metrics.Counter
+	deprioritized                         metrics.Counter
 }
 
 // Group is a replicated keyspace across nodes; nodes[0] is the
@@ -187,8 +195,9 @@ func (g *Group) Stats() Stats {
 		DivergentPuts:  g.ctr.divergentPuts.Value(),
 		Hedges:         g.ctr.hedges.Value(),
 		Rereplications: g.ctr.rereplications.Value(),
-		Remounts:       g.ctr.remounts.Value(),
-		FailedRemounts: g.ctr.failedRemounts.Value(),
+		Remounts:           g.ctr.remounts.Value(),
+		FailedRemounts:     g.ctr.failedRemounts.Value(),
+		DeprioritizedReads: g.ctr.deprioritized.Value(),
 	}
 }
 
@@ -212,6 +221,7 @@ func (g *Group) RegisterMetrics(r *metrics.Registry, labels ...metrics.Label) {
 	r.RegisterCounter("cluster_rereplications_total", &g.ctr.rereplications, labels...)
 	r.RegisterCounter("cluster_remounts_total", &g.ctr.remounts, labels...)
 	r.RegisterCounter("cluster_failed_remounts_total", &g.ctr.failedRemounts, labels...)
+	r.RegisterCounter("cluster_deprioritized_reads_total", &g.ctr.deprioritized, labels...)
 	g.readLat = r.Histogram("cluster_read_latency_seconds", labels...)
 	r.GaugeFunc("cluster_dirty_keys", func() float64 {
 		var n int
@@ -224,6 +234,15 @@ func (g *Group) RegisterMetrics(r *metrics.Registry, labels ...metrics.Label) {
 		var n int
 		for _, node := range g.nodes {
 			if node.alive {
+				n++
+			}
+		}
+		return float64(n)
+	}, labels...)
+	r.GaugeFunc("cluster_catching_up_nodes", func() float64 {
+		var n int
+		for _, node := range g.nodes {
+			if node.alive && node.catchingUp {
 				n++
 			}
 		}
@@ -290,15 +309,19 @@ func (g *Group) RestartNode(name string) bool {
 				}
 				node.Slice = slice
 				node.lostPower = false
+				node.catchingUp = true
 				node.alive = true
 				g.ctr.remounts.Inc()
 				g.rereplicate(p, node)
+				node.catchingUp = false
 			})
 			return true
 		}
 		node.alive = true
+		node.catchingUp = true
 		g.env.Go("cluster/rereplicate", func(p *sim.Proc) {
 			g.rereplicate(p, node)
+			node.catchingUp = false
 		})
 		return true
 	}
@@ -377,14 +400,38 @@ func (g *Group) Put(p *sim.Proc, key string, value []byte, size int) error {
 	return firstErr
 }
 
-// Get serves a read from the replicas in placement order, hedging to
-// the next one when the current read is slow (HedgeAfter) and failing
-// over on any read error (uncorrectable ECC, dead channels, crashed
-// nodes). With RepairOnRead, a recovered value is written back to the
-// replicas that failed to serve it — including nodes diverged by an
-// earlier partial Put.
+// readOrder returns the replica indices in routing order: placement
+// order, but with replicas still catching up after a remount or
+// restart (re-replication in flight) moved behind every settled one —
+// a half-caught-up replica serves reads only when no settled replica
+// can, keeping its recovery bandwidth for the catch-up itself and its
+// possibly-stale keys out of the fast path.
+func (g *Group) readOrder() []int {
+	order := make([]int, 0, len(g.nodes))
+	var lagging []int
+	for i, node := range g.nodes {
+		if node.alive && node.catchingUp {
+			lagging = append(lagging, i)
+			continue
+		}
+		order = append(order, i)
+	}
+	if len(lagging) > 0 {
+		g.ctr.deprioritized.Inc()
+	}
+	return append(order, lagging...)
+}
+
+// Get serves a read from the replicas in routing order (placement
+// order with catching-up replicas deprioritized — see readOrder),
+// hedging to the next one when the current read is slow (HedgeAfter)
+// and failing over on any read error (uncorrectable ECC, dead
+// channels, crashed nodes). With RepairOnRead, a recovered value is
+// written back to the replicas that failed to serve it — including
+// nodes diverged by an earlier partial Put.
 func (g *Group) Get(p *sim.Proc, key string) ([]byte, int, error) {
 	g.ctr.gets.Inc()
+	order := g.readOrder()
 	start := g.env.Now()
 	type result struct {
 		value []byte
@@ -408,7 +455,7 @@ func (g *Group) Get(p *sim.Proc, key string) ([]byte, int, error) {
 			handled[i] = true
 			r, node := res[i], g.nodes[i]
 			if r.err == nil {
-				if i > 0 {
+				if i != order[0] {
 					g.ctr.failovers.Inc()
 				}
 				node.nic.Transfer(p, r.size)
@@ -431,7 +478,7 @@ func (g *Group) Get(p *sim.Proc, key string) ([]byte, int, error) {
 			}
 		}
 		outstanding = live
-		for next < n && !g.nodes[next].alive {
+		for next < n && !g.nodes[order[next]].alive {
 			next++ // crash-aware: never wait on a dead node
 		}
 		if len(outstanding) == 0 && next >= n {
@@ -446,7 +493,7 @@ func (g *Group) Get(p *sim.Proc, key string) ([]byte, int, error) {
 				span := t.Begin(g.env.Now(), 0, "cluster/hedge", trace.PhaseFault)
 				t.End(g.env.Now(), span)
 			}
-			i, node := next, g.nodes[next]
+			i, node := order[next], g.nodes[order[next]]
 			readers[i] = g.env.Go("cluster/get", func(wp *sim.Proc) {
 				v, size, err := node.Slice.Get(wp, key)
 				res[i] = &result{v, size, err}

@@ -421,3 +421,71 @@ func TestManyKeysSurviveOneSickReplica(t *testing.T) {
 		t.Fatalf("lost = %d, want 0", lost)
 	}
 }
+
+// TestCatchingUpReplicaDeprioritized routes reads around a replica
+// that is mid-remount: with the placement-order primary marked
+// catching up, Get serves from a settled replica without counting a
+// failover, and the deprioritized-read counter records the detour.
+func TestCatchingUpReplicaDeprioritized(t *testing.T) {
+	env := sim.NewEnv()
+	nodes := []*Node{
+		newNode(t, env, "a", 0), newNode(t, env, "b", 0), newNode(t, env, "c", 0),
+	}
+	g, err := NewGroup(env, DefaultConfig(), nodes...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := bytes.Repeat([]byte{0x5A}, 20_000)
+	w := env.Go("t", func(p *sim.Proc) {
+		if err := g.Put(p, "k", val, len(val)); err != nil {
+			t.Error(err)
+			return
+		}
+		nodes[0].catchingUp = true
+		got, _, err := g.Get(p, "k")
+		if err != nil || !bytes.Equal(got, val) {
+			t.Errorf("Get with catching-up primary: %v", err)
+			return
+		}
+		nodes[0].catchingUp = false
+		if _, _, err := g.Get(p, "k"); err != nil {
+			t.Errorf("Get after catch-up settled: %v", err)
+		}
+	})
+	env.RunUntilDone(w)
+	st := g.Stats()
+	env.Close()
+	if st.DeprioritizedReads != 1 {
+		t.Fatalf("deprioritized reads = %d, want 1 (only the read during catch-up)", st.DeprioritizedReads)
+	}
+	if st.Failovers != 0 {
+		t.Fatalf("failovers = %d, want 0: deprioritization is routing, not failure", st.Failovers)
+	}
+}
+
+// TestCatchingUpReplicaStillServesAlone keeps availability ahead of
+// freshness: when every settled replica is gone, a catching-up node
+// must still serve the read rather than fail it.
+func TestCatchingUpReplicaStillServesAlone(t *testing.T) {
+	env := sim.NewEnv()
+	nodes := []*Node{newNode(t, env, "a", 0), newNode(t, env, "b", 0)}
+	g, err := NewGroup(env, DefaultConfig(), nodes...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := bytes.Repeat([]byte{0xA5}, 10_000)
+	w := env.Go("t", func(p *sim.Proc) {
+		if err := g.Put(p, "k", val, len(val)); err != nil {
+			t.Error(err)
+			return
+		}
+		nodes[0].catchingUp = true
+		nodes[1].alive = false
+		got, _, err := g.Get(p, "k")
+		if err != nil || !bytes.Equal(got, val) {
+			t.Errorf("Get from lone catching-up replica: %v", err)
+		}
+	})
+	env.RunUntilDone(w)
+	env.Close()
+}

@@ -163,6 +163,51 @@ func (d *Device) Recover(p *sim.Proc) ([]flashchan.RecoveryReport, error) {
 	return reports, nil
 }
 
+// Checkpoint persists every channel's FTL metadata to its dedicated
+// checkpoint blocks, in parallel across the channel engines. Requires
+// Config.Channel.CheckpointEvery > 0 (DESIGN.md §14); upper layers
+// call it to bound the next remount's scan to post-checkpoint
+// activity.
+func (d *Device) Checkpoint(p *sim.Proc) error {
+	end := d.beginOp(p, "sdf/checkpoint")
+	defer end()
+	op := p.Span()
+	errs := make([]error, len(d.channels))
+	var workers []*sim.Proc
+	for i := range d.channels {
+		ci := i
+		w := d.env.Go("sdf/checkpoint", func(wp *sim.Proc) {
+			wp.SetSpan(op)
+			errs[ci] = d.channels[ci].Checkpoint(wp)
+		})
+		workers = append(workers, w)
+	}
+	for _, w := range workers {
+		p.Join(w)
+	}
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("core: channel %d checkpoint: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// CheckpointStats sums per-channel checkpoint counters: images
+// written, failed attempts, and the worst-case age (write commands
+// since the last successful checkpoint on any channel).
+func (d *Device) CheckpointStats() (written, failures int64, maxAge int) {
+	for _, ch := range d.channels {
+		w, f, age := ch.CheckpointStats()
+		written += w
+		failures += f
+		if age > maxAge {
+			maxAge = age
+		}
+	}
+	return written, failures, maxAge
+}
+
 // beginOp opens the root span of one device operation and reparents p
 // under it so every instrumented layer below attributes to this I/O.
 // The returned func restores p and closes the span; call it when the
@@ -276,6 +321,14 @@ func (d *Device) RegisterMetrics(r *metrics.Registry, labels ...metrics.Label) {
 			}
 		}
 		return float64(n)
+	}, labels...)
+	r.CounterFunc("device_checkpoints_total", func() int64 {
+		w, _, _ := d.CheckpointStats()
+		return w
+	}, labels...)
+	r.GaugeFunc("device_checkpoint_age_writes", func() float64 {
+		_, _, age := d.CheckpointStats()
+		return float64(age)
 	}, labels...)
 }
 

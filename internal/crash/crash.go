@@ -72,7 +72,13 @@ func (c Config) devConfig() core.Config {
 	cfg.Channel.Nand.RetainData = true
 	cfg.Channel.Nand.BaseBER = 0
 	cfg.Channel.Nand.WearBER = 0
-	cfg.Channel.SparePerPlane = 2
+	// Checkpointing is on (with spares for the two checkpoint home
+	// blocks), so every crash instant also exercises checkpoint-aware
+	// recovery, and instants aimed inside "chan/checkpoint" windows cut
+	// power mid-checkpoint-write — the remount must then fall back to
+	// the previous image (or a full scan) without losing an acked byte.
+	cfg.Channel.SparePerPlane = 4
+	cfg.Channel.CheckpointEvery = 2
 	cfg.Channel.VerifyCRC = true
 	return cfg
 }
@@ -275,12 +281,13 @@ func (w Window) Instant() time.Duration {
 }
 
 // Windows profiles the workload without a crash and returns the
-// program and erase pulse windows, in completion order.
-func Windows(cfg Config) (prog, erase []Window, err error) {
+// program and erase pulse windows plus the FTL checkpoint-write
+// windows, in completion order.
+func Windows(cfg Config) (prog, erase, ckpt []Window, err error) {
 	col := trace.NewCollector()
 	r, err := cfg.start(col)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	defer r.env.Close()
 	r.env.RunUntilDone(r.writer)
@@ -302,8 +309,10 @@ func Windows(cfg Config) (prog, erase []Window, err error) {
 				prog = append(prog, w)
 			case "nand/erase":
 				erase = append(erase, w)
+			case "chan/checkpoint":
+				ckpt = append(ckpt, w)
 			}
 		}
 	}
-	return prog, erase, nil
+	return prog, erase, ckpt, nil
 }

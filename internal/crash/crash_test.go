@@ -7,17 +7,20 @@ import (
 )
 
 // instants builds the oracle's crash schedule for one seed: uniform
-// instants across the horizon plus instants aimed inside program and
-// erase pulse windows from the crash-free profile, so the suite
-// provably covers mid-8 MB-write and mid-erase cuts.
-func instants(t *testing.T, cfg Config, uniform, inProg, inErase int) []time.Duration {
+// instants across the horizon plus instants aimed inside program,
+// erase, and checkpoint-write pulse windows from the crash-free
+// profile, so the suite provably covers mid-8 MB-write, mid-erase,
+// and mid-checkpoint cuts — plus instants at program-window ends,
+// where flush completion truncates the write-ahead log, racing the
+// cut against the truncation.
+func instants(t *testing.T, cfg Config, uniform, inProg, inErase, inCkpt int) []time.Duration {
 	t.Helper()
-	prog, erase, err := Windows(cfg)
+	prog, erase, ckpt, err := Windows(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(prog) == 0 || len(erase) == 0 {
-		t.Fatalf("profile found %d program and %d erase windows; the workload must exercise both", len(prog), len(erase))
+	if len(prog) == 0 || len(erase) == 0 || len(ckpt) == 0 {
+		t.Fatalf("profile found %d program, %d erase, and %d checkpoint windows; the workload must exercise all three", len(prog), len(erase), len(ckpt))
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	var at []time.Duration
@@ -25,12 +28,12 @@ func instants(t *testing.T, cfg Config, uniform, inProg, inErase int) []time.Dur
 	for i := 0; i < uniform; i++ {
 		at = append(at, time.Millisecond+time.Duration(rng.Int63n(int64(span))))
 	}
-	pick := func(ws []Window, n int) {
+	pick := func(ws []Window, n int, aim func(Window) time.Duration) {
 		// Background erases drain past the horizon; only windows whose
 		// aim point is a legal crash instant qualify.
 		var ok []time.Duration
 		for _, w := range ws {
-			if p := w.Instant(); p > 0 && p < cfg.Horizon {
+			if p := aim(w); p > 0 && p < cfg.Horizon {
 				ok = append(ok, p)
 			}
 		}
@@ -41,19 +44,27 @@ func instants(t *testing.T, cfg Config, uniform, inProg, inErase int) []time.Dur
 			at = append(at, ok[i*len(ok)/n])
 		}
 	}
-	pick(prog, inProg)
-	pick(erase, inErase)
+	inside := func(w Window) time.Duration { return w.Instant() }
+	pick(prog, inProg, inside)
+	pick(erase, inErase, inside)
+	pick(ckpt, inCkpt, inside)
+	// Truncation instants: the log truncates in the completion chain of
+	// the flush's block write, so cuts at program-window ends land on
+	// that boundary.
+	pick(prog, inProg/2, func(w Window) time.Duration { return w.End })
 	return at
 }
 
 // TestDurabilityOracle is the tentpole property test: >= 100 seeded
-// crash instants per run — including cuts inside NAND program and
-// erase pulses — each followed by a full remount and the
-// acknowledged-durability check. Any acked-but-lost, unacked-but-
-// visible, or corrupt read fails with the offending (seed, instant).
+// crash instants per run — including cuts inside NAND program, erase,
+// and FTL checkpoint-write pulses, and at the flush-completion
+// boundaries where the journal truncates — each followed by a full
+// remount and the acknowledged-durability check. Any acked-but-lost,
+// unacked-but-visible, or corrupt read fails with the offending
+// (seed, instant).
 func TestDurabilityOracle(t *testing.T) {
 	cfg := DefaultConfig(7)
-	at := instants(t, cfg, 60, 20, 20)
+	at := instants(t, cfg, 60, 20, 20, 12)
 	if len(at) < 100 {
 		t.Fatalf("only %d crash instants", len(at))
 	}
@@ -89,17 +100,29 @@ func TestDurabilityOracle(t *testing.T) {
 // time, and the same post-recovery trace hash.
 func TestCrashDeterminism(t *testing.T) {
 	cfg := DefaultConfig(11)
-	prog, erase, err := Windows(cfg)
+	prog, erase, ckpt, err := Windows(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(prog) == 0 || len(erase) == 0 {
-		t.Fatalf("profile found %d program and %d erase windows", len(prog), len(erase))
+	if len(prog) == 0 || len(erase) == 0 || len(ckpt) == 0 {
+		t.Fatalf("profile found %d program, %d erase, and %d checkpoint windows", len(prog), len(erase), len(ckpt))
+	}
+	// Background work (and the checkpoints it triggers) drains past the
+	// horizon; only in-horizon instants are legal cuts.
+	var ckptIn []time.Duration
+	for _, w := range ckpt {
+		if p := w.Instant(); p > 0 && p < cfg.Horizon {
+			ckptIn = append(ckptIn, p)
+		}
+	}
+	if len(ckptIn) == 0 {
+		t.Fatal("no checkpoint window inside the horizon")
 	}
 	at := []time.Duration{
 		17 * time.Millisecond,
 		prog[len(prog)/2].Instant(),
 		erase[len(erase)/3].Instant(),
+		ckptIn[len(ckptIn)/2],
 	}
 	for _, crashAt := range at {
 		a, err := CrashAndRecover(cfg, crashAt)

@@ -28,7 +28,10 @@ func DefaultAvailabilityPlan() *fault.Plan {
 			// The hang hits the first replica in read order, so stalled
 			// reads exercise the hedge path (HedgeAfter < hang length).
 			{At: 700 * time.Millisecond, Kind: fault.ChannelHang, Target: "r1/chan0", Duration: 80 * time.Millisecond},
-			{At: 900 * time.Millisecond, Kind: fault.NodeCrash, Target: "r2", Duration: 300 * time.Millisecond},
+			// A power cut instead of a clean crash: the restart drives
+			// the full remount path (device recovery scan, block-layer
+			// rebuild, journal replay) under the chaos plan.
+			{At: 900 * time.Millisecond, Kind: fault.Powerloss, Target: "r2", Duration: 300 * time.Millisecond},
 			{At: 1500 * time.Millisecond, Kind: fault.LinkDegrade, Target: "r3/nic", Duration: 200 * time.Millisecond, Factor: 0.2},
 		},
 	}
@@ -109,6 +112,8 @@ func availabilityRun(opts Options, kind deviceKind, pl *fault.Plan) availResult 
 	var slices []*ccdb.Slice
 	for _, name := range names {
 		var slice *ccdb.Slice
+		var powerFail func()
+		var powerRemount func(p *sim.Proc) (*ccdb.Slice, error)
 		switch kind {
 		case devSDF:
 			// Full 44-channel geometry (same as the Gen3 profile's
@@ -130,9 +135,37 @@ func availabilityRun(opts Options, kind deviceKind, pl *fault.Plan) availResult 
 			// compacts during the horizon: compaction rewrites every
 			// patch with fresh placement, which would quietly move the
 			// data off the channels the fault plan targets.
-			slice = ccdb.NewSlice(env, store, ccdb.Config{PatchBytes: store.BlockSize(), RunsPerTier: 64})
+			journal := ccdb.NewJournal()
+			sliceCfg := ccdb.Config{PatchBytes: store.BlockSize(), RunsPerTier: 64, Journal: journal}
+			slice = ccdb.NewSlice(env, store, sliceCfg)
 			dev.RegisterMetrics(reg, devLabel, metrics.L("node", name))
 			bl.RegisterMetrics(reg, devLabel, metrics.L("node", name))
+			// A powerloss injection against this node halts the journal
+			// and freezes the media mid-operation; the restart then runs
+			// the full remount path — device recovery scan, block-layer
+			// rebuild, journal replay — inside the measured run.
+			holder := dev
+			devCfg := cfg
+			powerFail = func() {
+				holder.PowerLoss()
+				journal.Halt()
+			}
+			powerRemount = func(p *sim.Proc) (*ccdb.Slice, error) {
+				mounted, err := core.Mount(env, devCfg, holder.State())
+				if err != nil {
+					return nil, err
+				}
+				l, _, err := blocklayer.Mount(p, env, mounted, blocklayer.DefaultConfig())
+				if err != nil {
+					return nil, err
+				}
+				s, _, err := ccdb.MountSlice(p, env, ccdb.NewSDFStore(l), sliceCfg)
+				if err != nil {
+					return nil, err
+				}
+				holder = mounted
+				return s, nil
+			}
 		case devGen3:
 			// The conventional baseline masks channel-level faults with
 			// internal parity, and pays the masking's real price: a
@@ -154,7 +187,11 @@ func availabilityRun(opts Options, kind deviceKind, pl *fault.Plan) availResult 
 			dev.RegisterMetrics(reg, devLabel, metrics.L("node", name))
 		}
 		slice.RegisterMetrics(reg, devLabel, metrics.L("node", name))
-		nodes = append(nodes, cluster.NewNode(env, name, slice))
+		node := cluster.NewNode(env, name, slice)
+		if powerFail != nil {
+			node.SetPowerHooks(powerFail, powerRemount)
+		}
+		nodes = append(nodes, node)
 		slices = append(slices, slice)
 	}
 	group, err := cluster.NewGroup(env, cluster.DefaultConfig(), nodes...)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"sdf/internal/metrics"
 	"sdf/internal/sim"
@@ -92,8 +93,16 @@ func (inj *Injector) Arm(pl *Plan) error {
 			strings.Join(missing, ", "), strings.Join(inj.Targets(), ", "))
 	}
 	for _, in := range pl.Injections {
-		in := in
-		inj.env.Schedule(in.At, func() { inj.apply(in) })
+		// A recurring injection expands into its occurrences here, each
+		// scheduled as an ordinary one-shot: the fire order is fixed at
+		// arm time, so a recurring plan replays as deterministically as
+		// a flat one.
+		for k := 0; k < in.occurrences(); k++ {
+			occ := in
+			occ.At = in.At + time.Duration(k)*in.Every
+			occ.Every, occ.Repeat = 0, 0
+			inj.env.Schedule(occ.At, func() { inj.apply(occ) })
+		}
 	}
 	return nil
 }

@@ -89,6 +89,21 @@ type Injection struct {
 	Rate float64 `json:"rate,omitempty"`
 	// Count is how many blocks grown-bad-blocks retires.
 	Count int `json:"count,omitempty"`
+	// Every and Repeat make the injection recurring: it fires Repeat
+	// times, at At, At+Every, At+2·Every, … — a scheduled chaos
+	// cadence (periodic power cuts, repeated bursts). Repeat <= 1 with
+	// Every unset is the ordinary one-shot. A timed recurring fault
+	// must fully revert before its next occurrence (Duration < Every).
+	Every  time.Duration `json:"every,omitempty"`
+	Repeat int           `json:"repeat,omitempty"`
+}
+
+// occurrences is how many times the injection fires when armed.
+func (in Injection) occurrences() int {
+	if in.Repeat > 1 {
+		return in.Repeat
+	}
+	return 1
 }
 
 // Plan is a reproducible fault schedule.
@@ -114,6 +129,22 @@ func (pl *Plan) Validate() error {
 		}
 		if in.Duration < 0 {
 			return fmt.Errorf("fault: injection %d: negative duration", i)
+		}
+		if in.Every < 0 {
+			return fmt.Errorf("fault: injection %d: negative every %v", i, in.Every)
+		}
+		if in.Repeat < 0 {
+			return fmt.Errorf("fault: injection %d: negative repeat %d", i, in.Repeat)
+		}
+		if in.Repeat > 1 && in.Every <= 0 {
+			return fmt.Errorf("fault: injection %d: repeat %d needs every > 0", i, in.Repeat)
+		}
+		if in.Every > 0 && in.Repeat <= 1 {
+			return fmt.Errorf("fault: injection %d: every %v needs repeat > 1", i, in.Every)
+		}
+		if in.Repeat > 1 && in.Duration >= in.Every {
+			return fmt.Errorf("fault: injection %d: duration %v must be shorter than every %v",
+				i, in.Duration, in.Every)
 		}
 		switch in.Kind {
 		case ChannelHang:
@@ -199,6 +230,12 @@ func (pl *Plan) String() string {
 			if in.Duration > 0 {
 				detail = fmt.Sprintf("restart after %v", in.Duration)
 			}
+		}
+		if in.Repeat > 1 {
+			if detail != "" {
+				detail += ", "
+			}
+			detail += fmt.Sprintf("x%d every %v", in.Repeat, in.Every)
 		}
 		rows = append(rows, []string{
 			"t=+" + in.At.String(), string(in.Kind), in.Target, detail,

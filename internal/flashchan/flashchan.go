@@ -81,6 +81,16 @@ type Config struct {
 	// is the crash harness's "never surface corrupt data" tripwire.
 	VerifyCRC bool
 
+	// CheckpointEvery enables checkpointed FTL metadata: every
+	// CheckpointEvery successful write commands the engine persists
+	// its block map and sequence watermark to dedicated checkpoint
+	// blocks, so mount-time recovery scans only post-checkpoint
+	// activity (DESIGN.md §14). Zero disables checkpointing entirely:
+	// no blocks are reserved and recovery is the full scan. Enabling
+	// it requires SparePerPlane > 2 (the two checkpoint slots come
+	// out of plane 0's spare headroom).
+	CheckpointEvery int
+
 	Seed int64
 }
 
@@ -148,6 +158,16 @@ type Channel struct {
 	// into every page's out-of-band area. Recovery re-derives it as
 	// one past the highest sequence found on the media.
 	nextSeq uint64
+	// meta mirrors the identity stamped on each written logical block
+	// (FTL DRAM state), so checkpoints serialize without re-reading
+	// the media. Rebuilt by Recover.
+	meta map[int]blockMeta
+	// Checkpoint engine state (checkpoint.go): next generation to
+	// write, next slot to rewrite, and write commands since the last
+	// successful checkpoint.
+	cpSeq         uint64
+	cpSlot        int
+	writesSinceCp int
 
 	bytesRead    int64
 	bytesWritten int64
@@ -155,6 +175,8 @@ type Channel struct {
 	eccCorrected int64
 	eccFailures  int64
 	deadRejects  int64 // commands refused while offline
+	checkpoints  int64 // checkpoints written and verified
+	cpFailures   int64 // checkpoint attempts that failed
 }
 
 type parityKey struct {
@@ -166,12 +188,17 @@ func New(env *sim.Env, cfg Config) (*Channel, error) {
 	if cfg.Chips < 1 {
 		return nil, fmt.Errorf("flashchan: need at least one chip")
 	}
+	if cfg.CheckpointEvery > 0 && cfg.SparePerPlane <= cpSlots {
+		return nil, fmt.Errorf("flashchan: checkpointing needs SparePerPlane > %d", cpSlots)
+	}
 	ch := &Channel{
 		cfg:     cfg,
 		env:     env,
 		bus:     sim.NewLink(env, cfg.BusRate, cfg.BusOverhead),
 		mu:      sim.NewPriorityResource(env, 1),
 		nextSeq: 1,
+		meta:    make(map[int]blockMeta),
+		cpSeq:   1,
 	}
 	ch.SetLabel("chan")
 	for i := 0; i < cfg.Chips; i++ {
@@ -180,6 +207,7 @@ func New(env *sim.Env, cfg Config) (*Channel, error) {
 		chip := nand.New(env, np)
 		ch.chips = append(ch.chips, chip)
 		for pl := 0; pl < chip.Planes(); pl++ {
+			pi := len(ch.planes)
 			ps := planeState{
 				plane:   chip.Plane(pl),
 				chip:    i,
@@ -187,7 +215,7 @@ func New(env *sim.Env, cfg Config) (*Channel, error) {
 			}
 			ps.free.plane = ps.plane
 			for b := 0; b < ps.plane.Blocks(); b++ {
-				if !ps.plane.Bad(b) {
+				if !ps.plane.Bad(b) && !ch.cpHome(pi, b) {
 					ps.free.idx = append(ps.free.idx, b)
 				}
 			}
@@ -308,6 +336,9 @@ func (ch *Channel) RegisterMetrics(r *metrics.Registry, labels ...metrics.Label)
 	r.CounterFunc("flashchan_ecc_corrected_total", func() int64 { return ch.eccCorrected }, labels...)
 	r.CounterFunc("flashchan_ecc_failures_total", func() int64 { return ch.eccFailures }, labels...)
 	r.CounterFunc("flashchan_dead_rejects_total", func() int64 { return ch.deadRejects }, labels...)
+	r.CounterFunc("flashchan_checkpoints_total", func() int64 { return ch.checkpoints }, labels...)
+	r.CounterFunc("flashchan_checkpoint_failures_total", func() int64 { return ch.cpFailures }, labels...)
+	r.GaugeFunc("flashchan_checkpoint_age_writes", func() float64 { return float64(ch.writesSinceCp) }, labels...)
 	r.GaugeFunc("flashchan_queue_depth", func() float64 { return float64(ch.QueueDepth()) }, labels...)
 	r.GaugeFunc("flashchan_busy", func() float64 {
 		if ch.Idle() {
@@ -468,6 +499,7 @@ func (ch *Channel) eraseLocked(p *sim.Proc, lbn int) error {
 			delete(ps.mapping, lbn)
 		}
 	}
+	delete(ch.meta, lbn) // the block's previous identity is gone
 	// Spare-exhaustion precheck: a plane with an empty free pool can
 	// never complete this command, so fail before burning erase cycles
 	// (and endurance) on the planes that still have spares.
@@ -583,7 +615,11 @@ func (ch *Channel) write(p *sim.Proc, lbn int, data []byte, tag *WriteID) error 
 	if err := ch.checkAlive(); err != nil { // killed while queued
 		return err
 	}
-	return ch.writeLocked(p, lbn, data, tag)
+	if err := ch.writeLocked(p, lbn, data, tag); err != nil {
+		return err
+	}
+	ch.maybeCheckpoint(p)
+	return nil
 }
 
 func (ch *Channel) writeLocked(p *sim.Proc, lbn int, data []byte, tag *WriteID) error {
@@ -656,6 +692,12 @@ func (ch *Channel) writeLocked(p *sim.Proc, lbn int, data []byte, tag *WriteID) 
 		}
 	}
 	ch.bytesWritten += int64(ch.BlockSize())
+	m := blockMeta{seq: seq}
+	if tag != nil {
+		m.id = *tag
+		m.tagged = true
+	}
+	ch.meta[lbn] = m
 	return nil
 }
 
@@ -686,7 +728,11 @@ func (ch *Channel) eraseWrite(p *sim.Proc, lbn int, data []byte, tag *WriteID) e
 	if err := ch.eraseLocked(p, lbn); err != nil {
 		return err
 	}
-	return ch.writeLocked(p, lbn, data, tag)
+	if err := ch.writeLocked(p, lbn, data, tag); err != nil {
+		return err
+	}
+	ch.maybeCheckpoint(p)
+	return nil
 }
 
 // ReadAt reads size bytes at byte offset off within logical block lbn.

@@ -164,6 +164,9 @@ func Mount(env *sim.Env, cfg Config, state *Persistent) (*Channel, error) {
 	if len(state.media) != cfg.Chips {
 		return nil, fmt.Errorf("flashchan: mount with %d chips of media, config wants %d", len(state.media), cfg.Chips)
 	}
+	if cfg.CheckpointEvery > 0 && cfg.SparePerPlane <= cpSlots {
+		return nil, fmt.Errorf("flashchan: checkpointing needs SparePerPlane > %d", cpSlots)
+	}
 	ch := &Channel{
 		cfg: cfg,
 		env: env,
@@ -171,6 +174,8 @@ func Mount(env *sim.Env, cfg Config, state *Persistent) (*Channel, error) {
 		mu:  sim.NewPriorityResource(env, 1),
 		// nextSeq is re-derived by Recover from the media.
 		nextSeq: 1,
+		meta:    make(map[int]blockMeta),
+		cpSeq:   1,
 	}
 	ch.SetLabel("chan")
 	for i := 0; i < cfg.Chips; i++ {
@@ -238,6 +243,16 @@ type RecoveryReport struct {
 	ScannedBlocks int
 	ProbedPages   int64
 	ScanTime      time.Duration
+	// CheckpointFound reports whether a valid checkpoint survived;
+	// CheckpointSeq is its generation and CheckpointWatermark the
+	// sequence number it was cut at. CheckpointHits counts physical
+	// blocks the checkpoint vouched for, each validated with a single
+	// first-page probe instead of a full out-of-band walk — the
+	// mechanism that makes remount cost O(post-checkpoint activity).
+	CheckpointFound     bool
+	CheckpointSeq       uint64
+	CheckpointWatermark uint64
+	CheckpointHits      int
 }
 
 // planeCand is one complete physical block found by a plane scan.
@@ -267,11 +282,43 @@ func (ch *Channel) Recover(p *sim.Proc) (RecoveryReport, error) {
 
 	pagesPerBlock := ch.cfg.Nand.PagesPerBlock
 	perProbe := ch.cfg.Nand.TRead + ch.cfg.BusOverhead + sim.ByteTime(oobSize, ch.cfg.BusRate)
+	start := ch.env.Now()
+
+	// Load the newest valid checkpoint first (when enabled) and index
+	// it by physical block per plane: a checkpointed block whose
+	// first-page identity matches is accepted with one probe; only
+	// post-watermark activity pays the full out-of-band walk. No valid
+	// checkpoint means cpByPhys stays nil and every block takes the
+	// full-scan path below.
+	cpByPhys := make([]map[int]cpEntry, len(ch.planes))
+	var cp *checkpointState
+	if ch.cpEnabled() {
+		state, slot, cpProbes := ch.loadCheckpoint(p)
+		rep.ProbedPages += cpProbes
+		cp = state
+		if cp != nil {
+			rep.CheckpointFound = true
+			rep.CheckpointSeq = cp.seq
+			rep.CheckpointWatermark = cp.watermark
+			ch.cpSeq = cp.seq + 1
+			ch.cpSlot = (slot + 1) % cpSlots
+			for i := range ch.planes {
+				cpByPhys[i] = make(map[int]cpEntry)
+			}
+			for _, e := range cp.entries {
+				for pi, phys := range e.phys {
+					if pi < len(ch.planes) {
+						cpByPhys[pi][phys] = e
+					}
+				}
+			}
+		}
+	}
+
 	cands := make([]map[int][]planeCand, len(ch.planes))
 	probes := make([]int64, len(ch.planes))
 	var maxSeq uint64
 	parent := p.Span()
-	start := ch.env.Now()
 	var workers []*sim.Proc
 	for i := range ch.planes {
 		pi := i
@@ -281,6 +328,9 @@ func (ch *Channel) Recover(p *sim.Proc) (RecoveryReport, error) {
 			byLBN := make(map[int][]planeCand)
 			var n int64
 			for phys := 0; phys < ps.plane.Blocks(); phys++ {
+				if ch.cpHome(pi, phys) {
+					continue // checkpoint slot, already read above
+				}
 				if ps.plane.Bad(phys) {
 					rep.BadBlocks++
 					continue
@@ -293,6 +343,26 @@ func (ch *Channel) Recover(p *sim.Proc) (RecoveryReport, error) {
 				n++ // frontier probe
 				if wp0 == 0 {
 					continue // erased and empty
+				}
+				if e, hit := cpByPhys[pi][phys]; hit && wp0 == pagesPerBlock && e.seq < cp.watermark {
+					// The checkpoint vouches for this block. One probe
+					// of the first page confirms the identity (an
+					// erase-and-rewrite after the checkpoint would show
+					// a different sequence and fall through to the full
+					// walk; the extra probe is the price of suspicion).
+					n++
+					oob, okd := decodeOOB(ps.plane.Spare(phys, 0))
+					if okd && oob.seq == e.seq && oob.lbn == e.lbn && oob.id == e.id &&
+						(oob.flags&oobTagged != 0) == e.tagged {
+						rep.CheckpointHits++
+						byLBN[e.lbn] = append(byLBN[e.lbn], planeCand{
+							phys:   phys,
+							id:     e.id,
+							tagged: e.tagged,
+							seq:    e.seq,
+						})
+						continue
+					}
 				}
 				n += int64(wp0) // OOB walk of the written pages
 				c, ok := ch.validateBlock(ps.plane, phys, wp0, pagesPerBlock)
@@ -359,6 +429,7 @@ func (ch *Channel) Recover(p *sim.Proc) (RecoveryReport, error) {
 			for pi := range ch.planes {
 				ch.planes[pi].mapping[lbn] = match[pi]
 			}
+			ch.meta[lbn] = blockMeta{id: c0.id, tagged: c0.tagged, seq: c0.seq}
 			rep.Recovered = append(rep.Recovered, RecoveredBlock{
 				LBN:    lbn,
 				ID:     c0.id,
@@ -395,15 +466,23 @@ func (ch *Channel) Recover(p *sim.Proc) (RecoveryReport, error) {
 		}
 		// Rebuild the wear heap: every healthy, unmapped physical
 		// block is allocatable again (erase counts live in the media).
+		// Checkpoint home blocks never enter the pool.
 		ps.free.idx = ps.free.idx[:0]
 		for phys := 0; phys < ps.plane.Blocks(); phys++ {
-			if !ps.plane.Bad(phys) && !mapped[phys] {
+			if !ps.plane.Bad(phys) && !mapped[phys] && !ch.cpHome(pi, phys) {
 				ps.free.idx = append(ps.free.idx, phys)
 			}
 		}
 		heap.Init(&ps.free)
 	}
 	ch.nextSeq = maxSeq + 1
+	if cp != nil && cp.watermark > ch.nextSeq {
+		// Every pre-checkpoint write sat below the watermark; if the
+		// scan saw less (post-checkpoint writes all torn), the
+		// watermark still floors the sequence so new writes supersede
+		// anything the media might hold.
+		ch.nextSeq = cp.watermark
+	}
 	rep.ScanTime = ch.env.Now() - start
 	return rep, nil
 }
@@ -475,5 +554,6 @@ func (ch *Channel) SeedRecoverable(lbn int, id WriteID) error {
 		}
 		ps.mapping[lbn] = phys
 	}
+	ch.meta[lbn] = blockMeta{id: id, tagged: true, seq: seq}
 	return nil
 }
