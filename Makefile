@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint trace-smoke chaos-smoke recovery-smoke bench-smoke metrics-smoke check
+.PHONY: all build vet test race lint trace-smoke chaos-smoke recovery-smoke bench-smoke metrics-smoke kernel-bench check
 
 all: check
 
@@ -102,5 +102,18 @@ metrics-smoke:
 bench-smoke:
 	$(GO) run ./cmd/sdfbench -quick -json figure7
 	$(GO) run ./cmd/sdfctl bench diff bench/baseline/BENCH_figure7.json BENCH_figure7.json
+	$(GO) run ./cmd/sdfctl bench diff -perf bench/baseline/BENCH_figure7.json BENCH_figure7.json
+
+# kernel-bench is the scheduler perf gate (DESIGN.md "Kernel round 2"):
+# it fails on an allocation regression in the pooled fast paths
+# (TestKernelFastPathAllocs, the numeric form of the -benchmem
+# columns), then records the BenchmarkKernel* suite with allocation
+# accounting and a CPU profile. CI uploads kernel-bench.txt and
+# kernel-bench.pprof, so every commit carries its kernel perf history.
+kernel-bench:
+	$(GO) test ./internal/sim -run TestKernelFastPathAllocs -count=1 -v
+	$(GO) test ./internal/sim -run '^$$' -bench BenchmarkKernel -benchmem \
+		-cpuprofile kernel-bench.pprof -o kernel-bench.test | tee kernel-bench.txt
+	rm -f kernel-bench.test
 
 check: build vet race lint

@@ -124,8 +124,8 @@ func main() {
 	for _, r := range results {
 		fmt.Print(r.Table.String())
 		fmt.Print("\n")
-		fmt.Fprintf(os.Stderr, "(%s in %.1fs wall, %d events, %.2gM events/sec)\n",
-			r.Name, r.Wall.Seconds(), r.Events, r.EventsPerSec()/1e6)
+		fmt.Fprintf(os.Stderr, "(%s in %.1fs wall, %d events, %.2gM events/sec, %.2f allocs/event)\n",
+			r.Name, r.Wall.Seconds(), r.Events, r.EventsPerSec()/1e6, r.AllocsPerEvent())
 		if *jsonOut {
 			if err := writeBenchJSON(r, opts.Quick); err != nil {
 				fmt.Fprintf(os.Stderr, "sdfbench: %v\n", err)
@@ -181,12 +181,15 @@ type benchDoc struct {
 }
 
 // perfDoc is the wall-clock record that starts the perf trajectory:
-// how fast the simulator itself ran this experiment.
+// how fast the simulator itself ran this experiment, and how much it
+// allocated doing so.
 type perfDoc struct {
-	WallSeconds  float64 `json:"wall_seconds"`
-	Events       uint64  `json:"events"`
-	EventsPerSec float64 `json:"events_per_sec"`
-	Envs         int     `json:"envs"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	Events         uint64  `json:"events"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	Envs           int     `json:"envs"`
+	Allocs         uint64  `json:"allocs"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
 }
 
 // writeBenchJSON writes BENCH_<name>.json into the current directory.
@@ -205,10 +208,12 @@ func writeBenchJSON(r experiments.Result, quick bool) error {
 		Metrics:       tab.Metrics,
 		Observability: tab.Observability,
 		Perf: &perfDoc{
-			WallSeconds:  r.Wall.Seconds(),
-			Events:       r.Events,
-			EventsPerSec: r.EventsPerSec(),
-			Envs:         r.Envs,
+			WallSeconds:    r.Wall.Seconds(),
+			Events:         r.Events,
+			EventsPerSec:   r.EventsPerSec(),
+			Envs:           r.Envs,
+			Allocs:         r.Allocs,
+			AllocsPerEvent: r.AllocsPerEvent(),
 		},
 	}
 	buf, err := json.MarshalIndent(doc, "", "  ")

@@ -100,11 +100,21 @@ func main() {
 		}
 		traceSummarize(flag.Arg(2))
 	case "bench":
-		if flag.NArg() != 4 || flag.Arg(1) != "diff" {
-			fmt.Fprintln(os.Stderr, "usage: sdfctl bench diff <a.json> <b.json>")
+		args := flag.Args()[1:]
+		perf := false
+		if len(args) > 1 && args[1] == "-perf" {
+			perf = true
+			args = append(args[:1], args[2:]...)
+		}
+		if len(args) != 3 || args[0] != "diff" {
+			fmt.Fprintln(os.Stderr, "usage: sdfctl bench diff [-perf] <a.json> <b.json>")
 			os.Exit(2)
 		}
-		benchDiff(flag.Arg(2), flag.Arg(3))
+		if perf {
+			benchPerfDiff(args[1], args[2])
+		} else {
+			benchDiff(args[1], args[2])
+		}
 	case "faults":
 		if flag.NArg() > 2 {
 			fmt.Fprintln(os.Stderr, "usage: sdfctl faults [plan.json]")
@@ -273,6 +283,50 @@ func benchDiff(pathA, pathB string) {
 		fmt.Fprintf(os.Stderr, "sdfctl: field %q differs between %s and %s\n", k, pathA, pathB)
 	}
 	os.Exit(1)
+}
+
+// benchPerfDiff compares the host-cost "perf" blocks of two
+// BENCH_<experiment>.json files — the one pair of fields benchDiff
+// deliberately ignores. It prints the throughput trajectory (events,
+// wall time, events/sec, allocs/event) from a to b, so `sdfctl bench
+// diff -perf bench/baseline/BENCH_figure7.json BENCH_figure7.json`
+// answers "how much faster is the kernel than the recorded baseline".
+// Informational only: it always exits 0 on well-formed inputs.
+func benchPerfDiff(pathA, pathB string) {
+	perfOf := func(path string) map[string]float64 {
+		doc := loadBenchFields(path)
+		raw, ok := doc["perf"].(map[string]any)
+		if !ok {
+			log.Fatalf("%s: no perf block", path)
+		}
+		p := make(map[string]float64)
+		for k, v := range raw {
+			if f, ok := v.(float64); ok {
+				p[k] = f
+			}
+		}
+		return p
+	}
+	a, b := perfOf(pathA), perfOf(pathB)
+	fmt.Printf("perf delta (%s -> %s):\n", pathA, pathB)
+	row := func(label, key, format string, scale float64) {
+		va, oka := a[key]
+		vb, okb := b[key]
+		if !oka && !okb {
+			return
+		}
+		line := fmt.Sprintf("  %-13s "+format+" -> "+format, label, va*scale, vb*scale)
+		if oka && okb && va != 0 {
+			line += fmt.Sprintf("   (%+.1f%%)", (vb-va)/va*100)
+		} else if !oka {
+			line += "   (no baseline)"
+		}
+		fmt.Println(line)
+	}
+	row("events", "events", "%.0f", 1)
+	row("wall", "wall_seconds", "%.2fs", 1)
+	row("events/sec", "events_per_sec", "%.2fM", 1e-6)
+	row("allocs/event", "allocs_per_event", "%.3f", 1)
 }
 
 func loadBenchFields(path string) map[string]any {

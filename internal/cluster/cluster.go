@@ -62,8 +62,8 @@ type Node struct {
 	// restart-time re-replication is still in flight: it can serve,
 	// but the group routes reads to settled replicas first.
 	catchingUp bool
-	onFail    func()
-	onRemount func(p *sim.Proc) (*ccdb.Slice, error)
+	onFail     func()
+	onRemount  func(p *sim.Proc) (*ccdb.Slice, error)
 }
 
 // NewNode wraps a slice as a replica node with a 10 GbE NIC.
@@ -187,14 +187,14 @@ func (g *Group) Nodes() []*Node { return g.nodes }
 // Stats returns the group's cumulative counters.
 func (g *Group) Stats() Stats {
 	return Stats{
-		Puts:           g.ctr.puts.Value(),
-		Gets:           g.ctr.gets.Value(),
-		Failovers:      g.ctr.failovers.Value(),
-		Repairs:        g.ctr.repairs.Value(),
-		Lost:           g.ctr.lost.Value(),
-		DivergentPuts:  g.ctr.divergentPuts.Value(),
-		Hedges:         g.ctr.hedges.Value(),
-		Rereplications: g.ctr.rereplications.Value(),
+		Puts:               g.ctr.puts.Value(),
+		Gets:               g.ctr.gets.Value(),
+		Failovers:          g.ctr.failovers.Value(),
+		Repairs:            g.ctr.repairs.Value(),
+		Lost:               g.ctr.lost.Value(),
+		DivergentPuts:      g.ctr.divergentPuts.Value(),
+		Hedges:             g.ctr.hedges.Value(),
+		Rereplications:     g.ctr.rereplications.Value(),
 		Remounts:           g.ctr.remounts.Value(),
 		FailedRemounts:     g.ctr.failedRemounts.Value(),
 		DeprioritizedReads: g.ctr.deprioritized.Value(),

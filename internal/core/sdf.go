@@ -330,6 +330,15 @@ func (d *Device) RegisterMetrics(r *metrics.Registry, labels ...metrics.Label) {
 		_, _, age := d.CheckpointStats()
 		return float64(age)
 	}, labels...)
+	r.GaugeFunc("device_checkpoint_age_seconds", func() float64 {
+		var oldest time.Duration
+		for _, ch := range d.channels {
+			if a := ch.CheckpointAge(); a > oldest {
+				oldest = a
+			}
+		}
+		return oldest.Seconds()
+	}, labels...)
 }
 
 // PageSize returns the read unit (8 KB).

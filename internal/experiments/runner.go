@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"runtime"
 	"sync"
 	"time"
 
@@ -49,6 +50,10 @@ type Result struct {
 	Wall   time.Duration // host wall-clock of the run, not virtual time
 	Events uint64        // kernel events fired across the run's envs
 	Envs   int           // sim.Envs the run created
+	// Allocs is the process-wide heap allocation count during the run
+	// (runtime.MemStats.Mallocs delta). Only meaningful on a sequential
+	// run: with workers > 1 concurrent experiments share the counter.
+	Allocs uint64
 }
 
 // EventsPerSec returns the run's kernel event throughput.
@@ -57,6 +62,16 @@ func (r Result) EventsPerSec() float64 {
 		return 0
 	}
 	return float64(r.Events) / r.Wall.Seconds()
+}
+
+// AllocsPerEvent returns heap allocations per kernel event — the
+// scheduler-efficiency figure the kernel-round-2 work optimizes. Zero
+// when no events fired.
+func (r Result) AllocsPerEvent() float64 {
+	if r.Events == 0 {
+		return 0
+	}
+	return float64(r.Allocs) / float64(r.Events)
 }
 
 // RunAll executes entries on a pool of workers goroutines and returns
@@ -85,16 +100,22 @@ func RunAll(entries []Entry, opts Options, workers int) []Result {
 			for i := range next {
 				o := opts
 				o.Stats = &KernelStats{}
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				mallocs := ms.Mallocs
 				//sdflint:allow nowallclock measures the host cost of the run itself, never feeds into virtual time
 				start := time.Now()
 				tab := entries[i].Run(o)
+				//sdflint:allow nowallclock measures the host cost of the run itself, never feeds into virtual time
+				wall := time.Since(start)
+				runtime.ReadMemStats(&ms)
 				results[i] = Result{
-					Name:  entries[i].Name,
-					Table: tab,
-					//sdflint:allow nowallclock measures the host cost of the run itself, never feeds into virtual time
-					Wall:   time.Since(start),
+					Name:   entries[i].Name,
+					Table:  tab,
+					Wall:   wall,
 					Events: o.Stats.Events(),
 					Envs:   o.Stats.Envs(),
+					Allocs: ms.Mallocs - mallocs,
 				}
 			}
 		}()

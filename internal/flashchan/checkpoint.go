@@ -121,19 +121,25 @@ func (ch *Channel) Checkpoint(p *sim.Proc) error {
 }
 
 // maybeCheckpoint runs the periodic checkpoint policy after a
-// successful write command (engine held). A failed checkpoint write
-// is counted and absorbed: the data write already succeeded, and the
-// previous checkpoint still stands — recovery falls back to it.
+// successful write command (engine held): a checkpoint fires when
+// CheckpointEvery writes have accumulated, or — with CheckpointMaxAge
+// set — when more than that much virtual time has passed since the
+// last successful checkpoint. A failed checkpoint write is counted
+// and absorbed: the data write already succeeded, and the previous
+// checkpoint still stands — recovery falls back to it.
 func (ch *Channel) maybeCheckpoint(p *sim.Proc) {
 	if !ch.cpEnabled() {
 		return
 	}
 	ch.writesSinceCp++
-	if ch.writesSinceCp < ch.cfg.CheckpointEvery {
+	aged := ch.cfg.CheckpointMaxAge > 0 && ch.env.Now()-ch.lastCp >= ch.cfg.CheckpointMaxAge
+	if ch.writesSinceCp < ch.cfg.CheckpointEvery && !aged {
 		return
 	}
 	if err := ch.checkpointLocked(p); err != nil {
-		ch.writesSinceCp = 0 // back off a full period before retrying
+		// Back off a full period (and a full age window) before retrying.
+		ch.writesSinceCp = 0
+		ch.lastCp = ch.env.Now()
 	}
 }
 
@@ -179,8 +185,15 @@ func (ch *Channel) checkpointLocked(p *sim.Proc) error {
 	ch.cpSeq++
 	ch.cpSlot = (ch.cpSlot + 1) % cpSlots
 	ch.writesSinceCp = 0
+	ch.lastCp = ch.env.Now()
 	ch.checkpoints++
 	return nil
+}
+
+// CheckpointAge returns the virtual time elapsed since the last
+// successful checkpoint (or since mount, if none has succeeded yet).
+func (ch *Channel) CheckpointAge() time.Duration {
+	return ch.env.Now() - ch.lastCp
 }
 
 // encodeCheckpointPayload serializes the live FTL state: the nextSeq

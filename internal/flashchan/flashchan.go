@@ -91,6 +91,17 @@ type Config struct {
 	// out of plane 0's spare headroom).
 	CheckpointEvery int
 
+	// CheckpointMaxAge adds a virtual-time bound to the checkpoint
+	// policy: a write that completes more than CheckpointMaxAge after
+	// the last successful checkpoint triggers one immediately, even if
+	// fewer than CheckpointEvery writes have accumulated. It bounds
+	// recovery cost by elapsed time as well as by activity — a channel
+	// receiving a trickle of writes no longer holds a stale checkpoint
+	// for arbitrarily long. Zero disables the age trigger; a non-zero
+	// value requires CheckpointEvery > 0 (the trigger rides the write
+	// path of the checkpoint engine).
+	CheckpointMaxAge time.Duration
+
 	Seed int64
 }
 
@@ -168,6 +179,7 @@ type Channel struct {
 	cpSeq         uint64
 	cpSlot        int
 	writesSinceCp int
+	lastCp        time.Duration // virtual instant of the last successful checkpoint (or mount)
 
 	bytesRead    int64
 	bytesWritten int64
@@ -191,6 +203,9 @@ func New(env *sim.Env, cfg Config) (*Channel, error) {
 	if cfg.CheckpointEvery > 0 && cfg.SparePerPlane <= cpSlots {
 		return nil, fmt.Errorf("flashchan: checkpointing needs SparePerPlane > %d", cpSlots)
 	}
+	if cfg.CheckpointMaxAge > 0 && cfg.CheckpointEvery <= 0 {
+		return nil, fmt.Errorf("flashchan: CheckpointMaxAge requires CheckpointEvery > 0")
+	}
 	ch := &Channel{
 		cfg:     cfg,
 		env:     env,
@@ -199,6 +214,7 @@ func New(env *sim.Env, cfg Config) (*Channel, error) {
 		nextSeq: 1,
 		meta:    make(map[int]blockMeta),
 		cpSeq:   1,
+		lastCp:  env.Now(),
 	}
 	ch.SetLabel("chan")
 	for i := 0; i < cfg.Chips; i++ {
@@ -339,6 +355,7 @@ func (ch *Channel) RegisterMetrics(r *metrics.Registry, labels ...metrics.Label)
 	r.CounterFunc("flashchan_checkpoints_total", func() int64 { return ch.checkpoints }, labels...)
 	r.CounterFunc("flashchan_checkpoint_failures_total", func() int64 { return ch.cpFailures }, labels...)
 	r.GaugeFunc("flashchan_checkpoint_age_writes", func() float64 { return float64(ch.writesSinceCp) }, labels...)
+	r.GaugeFunc("flashchan_checkpoint_age_seconds", func() float64 { return ch.CheckpointAge().Seconds() }, labels...)
 	r.GaugeFunc("flashchan_queue_depth", func() float64 { return float64(ch.QueueDepth()) }, labels...)
 	r.GaugeFunc("flashchan_busy", func() float64 {
 		if ch.Idle() {
@@ -658,6 +675,9 @@ func (ch *Channel) writeLocked(p *sim.Proc, lbn int, data []byte, tag *WriteID) 
 			// register, so sustained writes are program-limited.
 			pending := ch.transferAsync(pageSize, parent)
 			var bcrc uint32 // running fold of the page CRCs
+			// The media model copies the spare synchronously, so one
+			// stack buffer serves every page of this worker.
+			var oobBuf [oobSize]byte
 			for pg := 0; pg < pagesPerBlock; pg++ {
 				var payload []byte
 				if data != nil {
@@ -670,7 +690,8 @@ func (ch *Channel) writeLocked(p *sim.Proc, lbn int, data []byte, tag *WriteID) 
 				}
 				oob, fold := makePageOOB(tag, seq, lbn, pg, pagesPerBlock, payload, bcrc)
 				bcrc = fold
-				if err := ps.plane.ProgramOOB(wp, phys, pg, payload, encodeOOB(oob)); err != nil {
+				encodeOOBInto(oob, oobBuf[:])
+				if err := ps.plane.ProgramOOB(wp, phys, pg, payload, oobBuf[:]); err != nil {
 					errs[pi] = err
 					t.End(ch.env.Now(), span)
 					return
@@ -768,15 +789,20 @@ func (ch *Channel) ReadAt(p *sim.Proc, lbn int, off, size int) ([]byte, error) {
 	parent := p.Span()
 	stripe := ch.stripeBytes()
 	var pending time.Duration // wires-quiet instant of the in-flight page (0 = none)
+	lastPi, lastPhys := -1, 0 // mapping lookup cache: pi changes once per stripe
 	for done := 0; done < size; {
 		pi := (off + done) / stripe
 		within := (off + done) % stripe
 		pg := within / pageSize
 		ps := &ch.planes[pi]
-		phys, ok := ps.mapping[lbn]
-		if !ok {
-			return nil, fmt.Errorf("%w: logical block %d never written", ErrBadAddress, lbn)
+		if pi != lastPi {
+			phys, ok := ps.mapping[lbn]
+			if !ok {
+				return nil, fmt.Errorf("%w: logical block %d never written", ErrBadAddress, lbn)
+			}
+			lastPi, lastPhys = pi, phys
 		}
+		phys := lastPhys
 		span := t.Begin(ch.env.Now(), parent, "nand/read", trace.PhaseFlash)
 		data, err := ps.plane.ReadPage(p, phys, pg)
 		if err != nil {

@@ -82,15 +82,29 @@ func makePageOOB(tag *WriteID, seq uint64, lbn, page, pagesPerBlock int, payload
 	return oob, fold
 }
 
-// foldCRC chains one page CRC into the running block CRC.
+// foldCRC chains one page CRC into the running block CRC. The body is
+// crc32.Update(acc, crc32.IEEETable, le32(pageCRC)) unrolled over the
+// four little-endian bytes: Update's slice argument defeats escape
+// analysis and costs a heap allocation per page on the write path.
 func foldCRC(acc, pageCRC uint32) uint32 {
-	var buf [4]byte
-	binary.LittleEndian.PutUint32(buf[:], pageCRC)
-	return crc32.Update(acc, crc32.IEEETable, buf[:])
+	crc := ^acc
+	for i := 0; i < 4; i++ {
+		crc = crc32.IEEETable[byte(crc)^byte(pageCRC>>(8*i))] ^ (crc >> 8)
+	}
+	return ^crc
 }
 
 func encodeOOB(oob pageOOB) []byte {
 	buf := make([]byte, oobSize)
+	encodeOOBInto(oob, buf)
+	return buf
+}
+
+// encodeOOBInto serializes into a caller-owned buffer of oobSize
+// bytes. The write path reuses one stack buffer per worker — the
+// media model copies the spare into its arena immediately, so the
+// buffer never escapes.
+func encodeOOBInto(oob pageOOB, buf []byte) {
 	binary.LittleEndian.PutUint64(buf[0:], oob.id.Hi)
 	binary.LittleEndian.PutUint64(buf[8:], oob.id.Lo)
 	binary.LittleEndian.PutUint64(buf[16:], oob.seq)
@@ -99,7 +113,6 @@ func encodeOOB(oob pageOOB) []byte {
 	binary.LittleEndian.PutUint32(buf[32:], oob.crc)
 	binary.LittleEndian.PutUint32(buf[36:], oob.bcrc)
 	buf[40] = oob.flags
-	return buf
 }
 
 func decodeOOB(buf []byte) (pageOOB, bool) {

@@ -113,25 +113,72 @@ type block struct {
 // planeMedia is one plane's persistent cell state: what the silicon
 // retains when power is cut.
 type planeMedia struct {
-	blocks []block
-	data   map[int64][]byte // pageIndex -> payload (RetainData mode)
-	spare  map[int64][]byte // pageIndex -> out-of-band recovery metadata
-	torn   map[int64]bool   // pages whose program pulse power loss cut
+	blocks        []block
+	pagesPerBlock int
+	data          map[int64][]byte // pageIndex -> payload (RetainData mode)
+	// spares holds out-of-band recovery metadata per block as a lazily
+	// allocated page->bytes slab; the byte payloads are carved out of
+	// arena in bulk, so programming a page's ~41-byte OOB area costs no
+	// per-page allocation or map churn on the simulator's hottest write
+	// path.
+	spares [][][]byte
+	arena  []byte
+	torn   map[int64]bool // pages whose program pulse power loss cut
 	// interruptedErases counts erase pulses cut by power loss; the
 	// recovery scan reports them as partially-erased blocks.
 	interruptedErases int
 }
 
+// setSpare retains a copy of a page's out-of-band bytes, appending the
+// payload to the plane's spare arena.
+func (pm *planeMedia) setSpare(blockIdx, page int, sp []byte) {
+	sl := pm.spares[blockIdx]
+	if sl == nil {
+		sl = make([][]byte, pm.pagesPerBlock)
+		pm.spares[blockIdx] = sl
+	}
+	if len(sp) > cap(pm.arena)-len(pm.arena) {
+		size := 64 << 10
+		if len(sp) > size {
+			size = len(sp)
+		}
+		pm.arena = make([]byte, 0, size)
+	}
+	n := len(pm.arena)
+	pm.arena = append(pm.arena, sp...)
+	sl[page] = pm.arena[n : n+len(sp) : n+len(sp)]
+}
+
+// getSpare returns the retained out-of-band bytes, nil if none. The
+// returned slice aliases the arena; callers copy before exposing it.
+func (pm *planeMedia) getSpare(blockIdx, page int) []byte {
+	sl := pm.spares[blockIdx]
+	if sl == nil {
+		return nil
+	}
+	return sl[page]
+}
+
 // wipe clears one block's retained pages (payloads, spares, torn
-// marks), as an erase pulse does.
+// marks), as an erase pulse does. The per-page map walks are guarded
+// so the common case — timing-only media with no torn pages — erases
+// in O(pagesPerBlock) pointer stores with no map traffic.
 func (pm *planeMedia) wipe(blockIdx, pagesPerBlock int) {
+	if sl := pm.spares[blockIdx]; sl != nil {
+		for i := range sl {
+			sl[i] = nil
+		}
+	}
 	base := int64(blockIdx) * int64(pagesPerBlock)
-	for i := 0; i < pagesPerBlock; i++ {
-		if pm.data != nil {
+	if pm.data != nil {
+		for i := 0; i < pagesPerBlock; i++ {
 			delete(pm.data, base+int64(i))
 		}
-		delete(pm.spare, base+int64(i))
-		delete(pm.torn, base+int64(i))
+	}
+	if len(pm.torn) > 0 {
+		for i := 0; i < pagesPerBlock; i++ {
+			delete(pm.torn, base+int64(i))
+		}
 	}
 }
 
@@ -182,9 +229,10 @@ func New(env *sim.Env, params Params) *Chip {
 	m := &Media{params: params}
 	for i := 0; i < params.Planes; i++ {
 		pm := &planeMedia{
-			blocks: make([]block, params.BlocksPerPlane),
-			spare:  make(map[int64][]byte),
-			torn:   make(map[int64]bool),
+			blocks:        make([]block, params.BlocksPerPlane),
+			pagesPerBlock: params.PagesPerBlock,
+			spares:        make([][][]byte, params.BlocksPerPlane),
+			torn:          make(map[int64]bool),
 		}
 		if params.RetainData {
 			pm.data = make(map[int64][]byte)
@@ -462,7 +510,7 @@ func (pl *Plane) ProgramOOB(p *sim.Proc, blockIdx, page int, data, spare []byte)
 		pl.m.data[pl.pageIndex(blockIdx, page)] = append([]byte(nil), data...)
 	}
 	if spare != nil {
-		pl.m.spare[pl.pageIndex(blockIdx, page)] = append([]byte(nil), spare...)
+		pl.m.setSpare(blockIdx, page, spare)
 	}
 	return nil
 }
@@ -560,7 +608,7 @@ func (pl *Plane) PreloadSpares(blockIdx int, spares [][]byte) error {
 	pl.m.wipe(blockIdx, pl.chip.params.PagesPerBlock)
 	b.writePtr = len(spares)
 	for i, sp := range spares {
-		pl.m.spare[pl.pageIndex(blockIdx, i)] = append([]byte(nil), sp...)
+		pl.m.setSpare(blockIdx, i, sp)
 	}
 	return nil
 }
@@ -573,7 +621,11 @@ func (pl *Plane) Spare(blockIdx, page int) []byte {
 	if err := pl.checkAddr(blockIdx, page); err != nil {
 		return nil
 	}
-	return append([]byte(nil), pl.m.spare[pl.pageIndex(blockIdx, page)]...)
+	sp := pl.m.getSpare(blockIdx, page)
+	if sp == nil {
+		return nil
+	}
+	return append([]byte(nil), sp...)
 }
 
 // Torn reports whether a page's program pulse was cut by power loss.

@@ -122,6 +122,32 @@ func BenchmarkKernelHeapChurn(b *testing.B) {
 	env.Run()
 }
 
+// BenchmarkKernelSameInstantChurn measures the calendar queue at its
+// bucket boundaries: 64 workers on a capacity-64 timeline all complete
+// each round at one shared instant, so every round coalesces into a
+// single batched grant, fully drains the current bucket (retiring it
+// to the free list), and opens the next — the heaviest tie-churn shape
+// the device models generate, at maximum pooling-path pressure.
+func BenchmarkKernelSameInstantChurn(b *testing.B) {
+	b.ReportAllocs()
+	env := NewEnv()
+	const workers = 64
+	tl := NewTimeline(env, workers)
+	for w := 0; w < workers; w++ {
+		n := b.N / workers
+		if w == 0 {
+			n += b.N % workers
+		}
+		iters := n
+		env.Go("worker", func(p *Proc) {
+			for i := 0; i < iters; i++ {
+				tl.Occupy(p, time.Microsecond)
+			}
+		})
+	}
+	env.Run()
+}
+
 // allocsPerEvent builds a workload on a fresh Env, runs it to
 // completion, and returns heap allocations per dispatched event.
 func allocsPerEvent(build func(env *Env)) float64 {
@@ -172,6 +198,20 @@ func TestKernelFastPathAllocs(t *testing.T) {
 			for w := 0; w < 3; w++ {
 				env.Go("worker", func(p *Proc) {
 					for i := 0; i < 50000; i++ {
+						tl.Occupy(p, time.Microsecond)
+					}
+				})
+			}
+		}},
+		// The two pooled structures under maximum pressure: every round
+		// batches 64 wakeups into one grant (grant pool) and drains one
+		// bucket per instant (bucket free list). Steady state must
+		// recycle both — a leak here shows up as ~1/64 allocs/event.
+		{"same-instant-grant-burst", func(env *Env) {
+			tl := NewTimeline(env, 64)
+			for w := 0; w < 64; w++ {
+				env.Go("worker", func(p *Proc) {
+					for i := 0; i < 3000; i++ {
 						tl.Occupy(p, time.Microsecond)
 					}
 				})

@@ -12,10 +12,32 @@
 // to pass (Proc.Wait), for a Signal to fire (Proc.Await), or for a
 // Resource or Queue to become available. The scheduler resumes processes
 // in strict (time, sequence) order, so event ordering is deterministic.
+//
+// Two structural choices make the hot loop cheap (DESIGN.md "Kernel
+// round 2"):
+//
+//   - The pending-event set is a calendar queue: one FIFO bucket per
+//     distinct virtual instant, with the buckets themselves in a small
+//     min-heap. Pushes append (seq order is append order), pops read the
+//     bucket head, and the heavy same-instant tie load the device models
+//     generate costs O(1) per event instead of a heap sift. Bucket
+//     backing arrays are recycled through a free list, so steady-state
+//     scheduling allocates nothing.
+//
+//   - Control moves between processes by runtime coroutine switch
+//     (iter.Pull): each process is a pull-iterator coroutine, and a
+//     handoff is a direct stack switch — no channel, no scheduler pass,
+//     no goroutine ready/park round trip. The goroutine that holds
+//     control pops and dispatches events itself; when a process's own
+//     resume event is next, it keeps running with no switch at all.
+//     All coroutine resumes are trampolined through the driver
+//     goroutine (the Run caller), so next/stop are never invoked from
+//     inside a coroutine.
 package sim
 
 import (
 	"fmt"
+	"iter"
 	"time"
 
 	"sdf/internal/trace"
@@ -29,35 +51,125 @@ import (
 // closure, so timer fires, resource grants, and process starts cost no
 // heap allocation. fn is the general inline-callback form (Schedule,
 // Timeline.OccupyAsync); it runs in scheduler context and must not
-// block.
+// block. grant is a batched set of same-instant wakeups occupying
+// consecutive sequence slots (see tlGrant).
 type event struct {
-	at   int64 // virtual nanoseconds
-	seq  uint64
-	proc *Proc  // non-nil: resume (or start) this process
-	fn   func() // proc == nil: run this callback inline
+	at    int64 // virtual nanoseconds
+	seq   uint64
+	proc  *Proc  // non-nil: resume (or start) this process
+	fn    func() // proc == nil: run this callback inline
+	grant *tlGrant
 }
 
-// eventHeap is a 4-ary min-heap ordered by (at, seq). The wider
-// fan-out halves the depth of the binary heap it replaces: sift-downs
-// touch fewer cache lines per level, which dominates pop cost once the
-// queue holds a few hundred events (44 channels of in-flight NAND and
-// bus activity easily do).
-type eventHeap []event
+// bucket holds every pending event at one virtual instant. Events are
+// appended in scheduling order, and the global sequence counter is
+// monotonic, so a bucket's append order IS its (time, seq) dispatch
+// order: within a bucket, FIFO replaces the heap's tie-break compare.
+type bucket struct {
+	at   int64
+	head int
+	evs  []event
+}
 
-func (h eventHeap) less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// calendarQueue is the pending-event set: an index of instant-keyed
+// FIFO buckets plus a 4-ary min-heap of the non-current buckets. cur
+// caches the earliest bucket so the two hot paths — push at the
+// current minimum instant (wakes, coalesced grants) and pop — touch
+// neither the map nor the heap.
+//
+// Invariants: size > 0 iff cur != nil and cur has unpopped events;
+// cur.at is strictly below every heap bucket's instant; every live
+// bucket (cur included) is in index.
+type calendarQueue struct {
+	size  int
+	cur   *bucket
+	heap  []*bucket
+	index map[int64]*bucket
+	free  []*bucket
+}
+
+func (q *calendarQueue) init() { q.index = make(map[int64]*bucket) }
+
+// minAt returns the earliest pending instant; size must be > 0.
+func (q *calendarQueue) minAt() int64 { return q.cur.at }
+
+func (q *calendarQueue) push(ev event) {
+	q.size++
+	c := q.cur
+	if c == nil {
+		b := q.newBucket(ev)
+		q.cur = b
+		q.index[ev.at] = b
+		return
 	}
-	return h[i].seq < h[j].seq
+	if ev.at == c.at {
+		c.evs = append(c.evs, ev)
+		return
+	}
+	if ev.at < c.at {
+		// A push below the cached minimum happens when the clock sits
+		// behind cur (the instant just drained fully, promoting a later
+		// bucket) and dispatch work schedules at now: demote cur back
+		// into the heap and open a fresh earliest bucket.
+		q.heapPush(c)
+		b := q.newBucket(ev)
+		q.cur = b
+		q.index[ev.at] = b
+		return
+	}
+	if b := q.index[ev.at]; b != nil {
+		b.evs = append(b.evs, ev)
+		return
+	}
+	b := q.newBucket(ev)
+	q.heapPush(b)
+	q.index[ev.at] = b
 }
 
-func (h *eventHeap) push(ev event) {
-	*h = append(*h, ev)
-	s := *h
+func (q *calendarQueue) pop() event {
+	c := q.cur
+	ev := c.evs[c.head]
+	// Zero the vacated slot so a completed event's closure, process,
+	// and grant pointers do not stay reachable through the bucket's
+	// recycled backing array.
+	c.evs[c.head] = event{}
+	c.head++
+	q.size--
+	if c.head == len(c.evs) {
+		delete(q.index, c.at)
+		c.evs = c.evs[:0]
+		c.head = 0
+		q.free = append(q.free, c)
+		q.cur = q.heapPop()
+	}
+	return ev
+}
+
+// newBucket takes a bucket from the free list (retaining its backing
+// array — the event "arena") or allocates one, seeding it with ev.
+func (q *calendarQueue) newBucket(ev event) *bucket {
+	var b *bucket
+	if n := len(q.free); n > 0 {
+		b = q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+	} else {
+		b = &bucket{evs: make([]event, 0, 8)}
+	}
+	b.at = ev.at
+	b.evs = append(b.evs, ev)
+	return b
+}
+
+// heapPush inserts b into the 4-ary min-heap of non-current buckets.
+// Instants are unique across live buckets, so there are no ties.
+func (q *calendarQueue) heapPush(b *bucket) {
+	q.heap = append(q.heap, b)
+	s := q.heap
 	i := len(s) - 1
 	for i > 0 {
 		parent := (i - 1) / 4
-		if !s.less(i, parent) {
+		if s[i].at >= s[parent].at {
 			break
 		}
 		s[i], s[parent] = s[parent], s[i]
@@ -65,17 +177,18 @@ func (h *eventHeap) push(ev event) {
 	}
 }
 
-func (h *eventHeap) pop() event {
-	old := *h
-	top := old[0]
-	n := len(old) - 1
-	old[0] = old[n]
-	// Zero the vacated tail slot so a completed event's closure and
-	// process pointers do not stay reachable through the heap's spare
-	// capacity for the rest of the run.
-	old[n] = event{}
-	s := old[:n]
-	*h = s
+// heapPop removes and returns the earliest non-current bucket, or nil.
+func (q *calendarQueue) heapPop() *bucket {
+	n := len(q.heap)
+	if n == 0 {
+		return nil
+	}
+	top := q.heap[0]
+	n--
+	q.heap[0] = q.heap[n]
+	q.heap[n] = nil
+	s := q.heap[:n]
+	q.heap = s
 	i := 0
 	for {
 		c := 4*i + 1
@@ -88,7 +201,7 @@ func (h *eventHeap) pop() event {
 		}
 		smallest := i
 		for ; c < end; c++ {
-			if s.less(c, smallest) {
+			if s[c].at < s[smallest].at {
 				smallest = c
 			}
 		}
@@ -101,20 +214,56 @@ func (h *eventHeap) pop() event {
 	return top
 }
 
+// grantEntry is one wakeup inside a batched grant: a process resume or
+// an inline callback, exactly the two shapes of a plain event.
+type grantEntry struct {
+	proc *Proc
+	fn   func()
+}
+
+// tlGrant batches wakeups that would otherwise be scheduled as
+// back-to-back events at one instant — a Timeline lane completing a
+// burst, a Signal releasing all its waiters — into a single queue
+// entry. Absorption is only legal while the grant is the most recently
+// scheduled thing on the whole environment (its seq still equals the
+// global counter) and the instants match: then the batched entries
+// provably occupy the consecutive sequence slots they would have had
+// as individual events, and in-order delivery of the batch reproduces
+// the unbatched dispatch order exactly.
+type tlGrant struct {
+	at      int64
+	seq     uint64
+	next    int
+	fired   bool
+	entries []grantEntry
+}
+
 // Env is a simulation environment: a virtual clock plus an event queue.
 // An Env and everything scheduled on it must be used from a single
 // logical thread of control; the kernel guarantees that by running at
 // most one process at a time.
 type Env struct {
-	now    int64
-	seq    uint64
-	fired  uint64 // events dispatched so far
-	heap   eventHeap
-	yield  chan struct{}
+	now   int64
+	seq   uint64
+	fired uint64 // events dispatched so far
+	q     calendarQueue
+	// xfer is the process the driver must switch into next: a parking
+	// process deposits the successor here before yielding, and the
+	// driver loop trampolines into it. nil means re-evaluate the stop
+	// conditions and dispatch from the queue.
+	xfer   *Proc
 	procs  []*Proc
 	closed bool
 	fail   *procPanic
 	tracer *trace.Collector
+	// limit and stopProc are the active run bounds; activeGrant is a
+	// partially delivered batched grant; lastGrant and grantPool back
+	// grant absorption and recycling.
+	limit       int64
+	stopProc    *Proc
+	activeGrant *tlGrant
+	lastGrant   *tlGrant
+	grantPool   []*tlGrant
 }
 
 type procPanic struct {
@@ -122,13 +271,15 @@ type procPanic struct {
 	value any
 }
 
-// errStopped is panicked inside a blocked process when the environment
-// is closed, unwinding the process goroutine cleanly.
+// stopSentinel is panicked inside a blocked process when the
+// environment is closed, unwinding the process goroutine cleanly.
 type stopSentinel struct{}
 
 // NewEnv returns an empty environment with the clock at zero.
 func NewEnv() *Env {
-	return &Env{yield: make(chan struct{})}
+	e := &Env{}
+	e.q.init()
+	return e
 }
 
 // Now returns the current virtual time as an offset from simulation start.
@@ -136,7 +287,9 @@ func (e *Env) Now() time.Duration { return time.Duration(e.now) }
 
 // Events returns the number of events the scheduler has dispatched —
 // the denominator of the events/sec throughput figure the bench
-// harness records per experiment.
+// harness records per experiment. Batched grants count one dispatch
+// per wakeup delivered, so the figure stays comparable across kernel
+// generations.
 func (e *Env) Events() uint64 { return e.fired }
 
 // SetTracer attaches an event collector. A nil tracer (the default)
@@ -159,46 +312,161 @@ func (e *Env) Schedule(after time.Duration, fn func()) {
 }
 
 // scheduleAt enqueues ev to fire at absolute virtual nanosecond at,
-// stamping the tie-break sequence. It is the single point every
-// scheduling path funnels through, so (time, sequence) ordering is
-// uniform across callbacks, process resumes, and timeline grants.
+// stamping the tie-break sequence. Together with scheduleWake it is
+// the funnel every scheduling path goes through, so (time, sequence)
+// ordering is uniform across callbacks, process resumes, and grants.
 func (e *Env) scheduleAt(at int64, ev event) {
 	if at < e.now {
 		at = e.now
 	}
 	e.seq++
 	ev.at, ev.seq = at, e.seq
-	e.heap.push(ev)
+	e.q.push(ev)
 }
 
-// dispatch fires one popped event: the typed fast paths (process
-// start/resume) avoid any closure, everything else runs fn inline.
-func (e *Env) dispatch(ev event) {
-	e.fired++
-	if p := ev.proc; p != nil {
-		if p.fn != nil {
-			fn := p.fn
-			p.fn = nil
-			e.start(p, fn)
-			return
-		}
-		e.resumeProc(p)
+// scheduleWake enqueues a wakeup — a process resume (fn nil) or an
+// inline callback (proc nil) — at absolute instant at, coalescing it
+// into the previous grant when nothing else has been scheduled since
+// and the instant matches (see tlGrant for why that preserves order).
+func (e *Env) scheduleWake(at int64, p *Proc, fn func()) {
+	if at < e.now {
+		at = e.now
+	}
+	if g := e.lastGrant; g != nil && !g.fired && g.at == at && g.seq == e.seq {
+		g.entries = append(g.entries, grantEntry{proc: p, fn: fn})
 		return
 	}
-	ev.fn()
+	var g *tlGrant
+	if n := len(e.grantPool); n > 0 {
+		g = e.grantPool[n-1]
+		e.grantPool[n-1] = nil
+		e.grantPool = e.grantPool[:n-1]
+		g.entries = g.entries[:0]
+		g.fired = false
+		g.next = 0
+	} else {
+		g = &tlGrant{entries: make([]grantEntry, 0, 4)}
+	}
+	g.entries = append(g.entries, grantEntry{proc: p, fn: fn})
+	e.seq++
+	g.at, g.seq = at, e.seq
+	e.q.push(event{at: at, seq: e.seq, grant: g})
+	e.lastGrant = g
 }
 
-// Proc is a simulation process. Methods on Proc may only be called from
-// the goroutine running that process.
+// runEvents dispatches events while the caller holds control. self is
+// the process currently running (nil when the driver loop dispatches).
+// It returns the process control must transfer to: self (the caller's
+// own resume came up — keep running, no switch), another process
+// (deposit it in e.xfer and yield to the driver, which switches in),
+// or nil (yield to the driver to re-evaluate its stop conditions).
+func (e *Env) runEvents(self *Proc) *Proc {
+	for {
+		if e.fail != nil || e.closed {
+			return nil
+		}
+		if sp := e.stopProc; sp != nil && sp.done {
+			return nil
+		}
+		// A partially delivered grant resumes before any queue pop: its
+		// entries hold the sequence slots directly after the popped
+		// grant event.
+		if g := e.activeGrant; g != nil {
+			ent := g.entries[g.next]
+			g.entries[g.next] = grantEntry{}
+			g.next++
+			if g.next == len(g.entries) {
+				e.activeGrant = nil
+				e.grantPool = append(e.grantPool, g)
+			}
+			if ent.fn != nil {
+				ent.fn()
+				continue
+			}
+			if p := ent.proc; p != nil && !p.done {
+				return p
+			}
+			continue
+		}
+		if e.q.size == 0 {
+			return nil
+		}
+		if e.limit >= 0 && e.q.minAt() > e.limit {
+			return nil
+		}
+		ev := e.q.pop()
+		e.now = ev.at
+		if g := ev.grant; g != nil {
+			e.fired += uint64(len(g.entries))
+			g.fired = true
+			g.next = 0
+			e.activeGrant = g
+			continue
+		}
+		e.fired++
+		if p := ev.proc; p != nil {
+			if p.fn != nil {
+				fn := p.fn
+				p.fn = nil
+				e.spawn(p, fn)
+				return p
+			}
+			if p.done {
+				continue
+			}
+			return p
+		}
+		ev.fn()
+	}
+}
+
+// drive is the driver loop body of Run/RunUntil/RunUntilDone: the
+// coroutine trampoline. Every process yield lands here; the loop
+// switches into the deposited successor (if any), otherwise
+// re-evaluates the stop conditions and dispatches from the queue.
+func (e *Env) drive() {
+	for {
+		if p := e.xfer; p != nil {
+			e.xfer = nil
+			p.resumeFn()
+			continue
+		}
+		if f := e.fail; f != nil {
+			panic(fmt.Sprintf("sim: process %q panicked: %v", f.proc, f.value))
+		}
+		if sp := e.stopProc; sp != nil && sp.done {
+			return
+		}
+		if e.activeGrant == nil {
+			if e.q.size == 0 {
+				return
+			}
+			if e.limit >= 0 && e.q.minAt() > e.limit {
+				return
+			}
+		}
+		if next := e.runEvents(nil); next != nil {
+			next.resumeFn()
+		}
+	}
+}
+
+// Proc is a simulation process: a coroutine created with iter.Pull.
+// Methods on Proc may only be called from the goroutine running that
+// process. resumeFn/stopFn switch into the coroutine and are invoked
+// only from the driver goroutine; yieldFn switches back out and is
+// invoked only from inside the coroutine.
 type Proc struct {
-	env     *Env
-	name    string
-	resume  chan struct{}
-	fn      func(*Proc) // body, pending until the start event fires
-	started bool
-	done    bool
-	doneSig *Signal
-	span    trace.SpanID
+	env      *Env
+	name     string
+	fn       func(*Proc) // body, pending until the start event fires
+	resumeFn func() (struct{}, bool)
+	stopFn   func()
+	yieldFn  func(struct{}) bool
+	started  bool
+	done     bool
+	doneSig  *Signal
+	span     trace.SpanID
 }
 
 // Name returns the process name given at spawn time.
@@ -220,73 +488,84 @@ func (p *Proc) Span() trace.SpanID { return p.span }
 // time (after already-scheduled events at that time). Go may be called
 // before Run or from inside another process.
 func (e *Env) Go(name string, fn func(*Proc)) *Proc {
-	p := &Proc{env: e, name: name, resume: make(chan struct{}), fn: fn}
+	p := &Proc{env: e, name: name, fn: fn}
 	e.procs = append(e.procs, p)
 	e.scheduleAt(e.now, event{proc: p})
 	return p
 }
 
-// start launches the process goroutine and hands control to it until it
-// blocks or finishes. Runs in scheduler context.
-func (e *Env) start(p *Proc, fn func(*Proc)) {
-	if e.closed {
-		p.done = true
-		return
-	}
+// spawn creates the process coroutine; control then transfers to it
+// like any other resume, and the body starts on that first switch.
+// The dispatch chain between spawn and first resume is unbroken (the
+// driver trampolines the deposited transfer before checking any stop
+// condition), so a started process always enters its body.
+func (e *Env) spawn(p *Proc, fn func(*Proc)) {
 	if e.tracer.Full() {
 		e.tracer.Emit(e.Now(), trace.KindProcSpawn, 0, 0, p.name, "", 0)
 	}
 	p.started = true
-	go func() {
-		defer func() {
-			r := recover()
-			if _, stopped := r.(stopSentinel); r != nil && !stopped && e.fail == nil {
-				e.fail = &procPanic{proc: p.name, value: r}
-			}
-			p.done = true
-			if p.doneSig != nil {
-				p.doneSig.Fire()
-			}
-			e.yield <- struct{}{}
-		}()
-		fn(p)
-	}()
-	<-e.yield
+	p.resumeFn, p.stopFn = iter.Pull(func(yield func(struct{}) bool) {
+		p.yieldFn = yield
+		p.main(fn)
+	})
+}
+
+// main is the body of a process coroutine: run the user function, then
+// unwind through exit. When it returns, control switches back to the
+// driver's pending resumeFn/stopFn call.
+func (p *Proc) main(fn func(*Proc)) {
+	defer p.exit()
+	fn(p)
+}
+
+// exit runs as the process coroutine unwinds: it records a panic (if
+// any) and completes the process. Control returns to the driver when
+// the coroutine body finishes; the driver re-evaluates its stop
+// conditions and continues dispatch.
+func (p *Proc) exit() {
+	e := p.env
+	r := recover()
+	_, stopped := r.(stopSentinel)
+	if r != nil && !stopped && e.fail == nil {
+		e.fail = &procPanic{proc: p.name, value: r}
+	}
+	p.done = true
+	if p.doneSig != nil {
+		p.doneSig.Fire()
+	}
 }
 
 // park blocks the current process until another component wakes it via
-// env.wake. It is the single low-level blocking primitive; all public
-// blocking operations are built on it.
+// env.wake (or a scheduled resume event fires). It is the single
+// low-level blocking primitive; all public blocking operations are
+// built on it. The parking process keeps dispatching events until
+// control must move: if its own resume is next, it never switches.
+// Otherwise it deposits the successor for the driver trampoline and
+// yields — one coroutine switch out, one back in on resume.
 func (p *Proc) park() {
-	if p.env.tracer.Full() {
-		p.env.tracer.Emit(p.env.Now(), trace.KindProcPark, 0, 0, p.name, "", 0)
+	e := p.env
+	if e.tracer.Full() {
+		e.tracer.Emit(e.Now(), trace.KindProcPark, 0, 0, p.name, "", 0)
 	}
-	p.env.yield <- struct{}{}
-	<-p.resume
-	if p.env.closed {
-		panic(stopSentinel{})
+	if next := e.runEvents(p); next != p {
+		e.xfer = next
+		if !p.yieldFn(struct{}{}) || e.closed {
+			// stopFn was called: Close is draining this coroutine.
+			panic(stopSentinel{})
+		}
 	}
-	if p.env.tracer.Full() {
-		p.env.tracer.Emit(p.env.Now(), trace.KindProcResume, 0, 0, p.name, "", 0)
+	if e.tracer.Full() {
+		e.tracer.Emit(e.Now(), trace.KindProcResume, 0, 0, p.name, "", 0)
 	}
 }
 
 // wake schedules p to resume at the current virtual time. It must only
 // be called for a process that is parked or about to park (the handoff
 // is mediated by the event queue, so wake-before-park is safe as long
-// as both happen before the scheduler regains control).
+// as both happen before the scheduler regains control). Consecutive
+// wakes at one instant coalesce into a single batched grant.
 func (e *Env) wake(p *Proc) {
-	e.scheduleAt(e.now, event{proc: p})
-}
-
-// resumeProc hands control to a parked process until it blocks again or
-// finishes. Runs in scheduler context.
-func (e *Env) resumeProc(p *Proc) {
-	if p.done {
-		return
-	}
-	p.resume <- struct{}{}
-	<-e.yield
+	e.scheduleWake(e.now, p, nil)
 }
 
 // Wait advances the process by d of virtual time.
@@ -351,40 +630,23 @@ func (e *Env) RunUntilDone(proc *Proc) {
 	if e.closed {
 		panic("sim: Run on closed Env")
 	}
-	for len(e.heap) > 0 && !proc.done {
-		ev := e.heap.pop()
-		e.now = ev.at
-		e.dispatch(ev)
-		if e.fail != nil {
-			f := e.fail
-			panic(fmt.Sprintf("sim: process %q panicked: %v", f.proc, f.value))
-		}
-	}
+	e.limit, e.stopProc = -1, proc
+	e.drive()
+	e.stopProc = nil
 }
 
 func (e *Env) run(limit int64) {
 	if e.closed {
 		panic("sim: Run on closed Env")
 	}
-	for len(e.heap) > 0 {
-		if limit >= 0 && e.heap[0].at > limit {
-			e.now = limit
-			return
-		}
-		ev := e.heap.pop()
-		e.now = ev.at
-		e.dispatch(ev)
-		if e.fail != nil {
-			f := e.fail
-			panic(fmt.Sprintf("sim: process %q panicked: %v", f.proc, f.value))
-		}
-	}
+	e.limit, e.stopProc = limit, nil
+	e.drive()
 	if limit >= 0 && limit > e.now {
 		e.now = limit
 	}
 }
 
-// Close terminates all blocked processes, unwinding their goroutines.
+// Close terminates all blocked processes, unwinding their coroutines.
 // After Close the environment must not be used. Close is idempotent.
 // It must be called from outside Run (not from a process).
 func (e *Env) Close() {
@@ -394,7 +656,10 @@ func (e *Env) Close() {
 	e.closed = true
 	for _, p := range e.procs {
 		if p.started && !p.done {
-			e.resumeProc(p)
+			// stopFn switches in with yield returning false; park panics
+			// the stop sentinel and the coroutine unwinds through its
+			// deferred exit before control returns here.
+			p.stopFn()
 		}
 	}
 }
@@ -412,7 +677,8 @@ type Signal struct {
 func NewSignal(env *Env) *Signal { return &Signal{env: env} }
 
 // Fire triggers the signal, releasing current and future waiters.
-// Firing twice is a no-op.
+// Firing twice is a no-op. A burst of waiters coalesces into one
+// batched grant.
 func (s *Signal) Fire() {
 	if s.fired {
 		return

@@ -57,11 +57,12 @@ func (t *Timeline) claim(hold time.Duration) (start, end int64) {
 }
 
 // Occupy blocks p for queueing plus hold — the blocking fast-path
-// form. The process parks exactly once, resumed by a typed event at
-// the end of its slot.
+// form. The process parks exactly once, resumed at the end of its
+// slot; back-to-back completions at one instant coalesce into a single
+// batched grant (see tlGrant), one scheduler operation for the burst.
 func (t *Timeline) Occupy(p *Proc, hold time.Duration) {
 	_, end := t.claim(hold)
-	t.env.scheduleAt(end, event{proc: p})
+	t.env.scheduleWake(end, p, nil)
 	p.park()
 }
 
@@ -79,7 +80,7 @@ func (t *Timeline) Reserve(hold time.Duration) (start, end time.Duration) {
 // enforces this outside the kernel).
 func (t *Timeline) OccupyAsync(hold time.Duration, fn func()) {
 	_, end := t.claim(hold)
-	t.env.scheduleAt(end, event{fn: fn})
+	t.env.scheduleWake(end, nil, fn)
 }
 
 // Busy reports whether any lane is occupied at the current instant.

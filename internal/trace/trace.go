@@ -136,9 +136,25 @@ const (
 	LevelFull
 )
 
-// Collector accumulates events in emission order.
+// Chunk sizing for the collector's event storage. Growth is geometric
+// from minChunk up to maxChunk, then linear: large traces (the figure 8
+// smoke run records 1.3M events) append into fixed 64Ki-event chunks
+// instead of repeatedly reallocating and copying one giant slice, so
+// steady-state emission cost is one bounded allocation per chunk and
+// no event is ever copied more than once (at flatten time).
+const (
+	minChunk = 1 << 10
+	maxChunk = 1 << 16
+)
+
+// Collector accumulates events in emission order. Storage is a list of
+// append-only chunks; Events flattens on demand and caches the result
+// until the next emission.
 type Collector struct {
-	events   []Event
+	full     [][]Event // sealed chunks, each len == cap
+	cur      []Event   // active chunk
+	flat     []Event   // cached flatten; nil when stale
+	n        int       // total events emitted
 	nextSpan SpanID
 	seq      uint64
 	dev      string
@@ -176,11 +192,26 @@ func (c *Collector) Emit(at time.Duration, kind Kind, span, parent SpanID, name,
 		return
 	}
 	c.seq++
-	c.events = append(c.events, Event{
+	if len(c.cur) == cap(c.cur) {
+		if c.cur != nil {
+			c.full = append(c.full, c.cur)
+		}
+		next := minChunk
+		if n := cap(c.cur) * 2; n > next {
+			next = n
+		}
+		if next > maxChunk {
+			next = maxChunk
+		}
+		c.cur = make([]Event, 0, next)
+	}
+	c.cur = append(c.cur, Event{
 		At: at, Seq: c.seq, Kind: kind,
 		Span: span, Parent: parent,
 		Dev: c.dev, Name: name, Phase: phase, Value: value,
 	})
+	c.n++
+	c.flat = nil
 }
 
 // Begin opens a span under parent (0 for a root span) and returns its
@@ -210,12 +241,24 @@ func (c *Collector) Counter(at time.Duration, name string, value int64) {
 }
 
 // Events returns the recorded events in emission order. The slice is
-// owned by the collector; callers must not mutate it.
+// owned by the collector; callers must not mutate it. While all events
+// still fit in one chunk the return is a zero-copy view; otherwise the
+// chunks are flattened once and the result cached until the next Emit.
 func (c *Collector) Events() []Event {
 	if c == nil {
 		return nil
 	}
-	return c.events
+	if len(c.full) == 0 {
+		return c.cur
+	}
+	if c.flat == nil {
+		flat := make([]Event, 0, c.n)
+		for _, ch := range c.full {
+			flat = append(flat, ch...)
+		}
+		c.flat = append(flat, c.cur...)
+	}
+	return c.flat
 }
 
 // Len returns the number of recorded events.
@@ -223,5 +266,5 @@ func (c *Collector) Len() int {
 	if c == nil {
 		return 0
 	}
-	return len(c.events)
+	return c.n
 }
