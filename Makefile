@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint trace-smoke chaos-smoke recovery-smoke bench-smoke metrics-smoke kernel-bench check
+.PHONY: all build vet test race lint trace-smoke chaos-smoke recovery-smoke codesign-smoke bench-smoke metrics-smoke kernel-bench check
 
 all: check
 
@@ -16,8 +16,11 @@ vet:
 test:
 	$(GO) test ./...
 
+# The experiments binary runs every table twice (sequential vs
+# parallel runner) under ~20x race overhead; the default per-binary
+# 600s timeout no longer fits it.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 1200s ./...
 
 # lint runs sdflint, the determinism static-analysis suite
 # (see DESIGN.md "Determinism rules" and "Whole-program analysis",
@@ -69,6 +72,22 @@ recovery-smoke:
 	$(GO) run ./cmd/sdfctl bench diff BENCH_recovery_a.json BENCH_recovery.json
 	$(GO) run ./cmd/sdfctl recovery report BENCH_recovery.json
 	rm -f recovery-b.json recovery-b.jsonl BENCH_recovery_a.json
+
+# codesign-smoke runs the erase/write co-scheduling experiment twice
+# and requires byte-identical traces and bench JSON, then enforces the
+# co-design contract through the operator tooling: coordination must
+# improve SDF read p99 at matched read rates, the steady-state run
+# must never fall back to forced erases, and the chaos stage must lose
+# no acknowledged data (DESIGN.md "Erase/write co-scheduling").
+codesign-smoke:
+	$(GO) run ./cmd/sdfbench -quick -json -trace codesign-a.json codesign
+	mv BENCH_codesign.json BENCH_codesign_a.json
+	$(GO) run ./cmd/sdfbench -quick -json -trace codesign-b.json codesign
+	cmp codesign-a.json codesign-b.json
+	cmp codesign-a.jsonl codesign-b.jsonl
+	$(GO) run ./cmd/sdfctl bench diff BENCH_codesign_a.json BENCH_codesign.json
+	$(GO) run ./cmd/sdfctl codesign report BENCH_codesign.json
+	rm -f codesign-b.json codesign-b.jsonl BENCH_codesign_a.json
 
 # metrics-smoke runs the fault-injected availability experiment twice
 # with the observability pipeline on and requires byte-identical

@@ -53,6 +53,16 @@
 //	          flat across the fill sweep (and beat the full scan at
 //	          every fill), and journal replay must cover only the
 //	          post-truncation tail; exit 1 on any violation
+//
+//	codesign report <BENCH_codesign.json>
+//	          print the co-scheduling experiment's read-tail comparison
+//	          and enforce the co-design contract: coordination must
+//	          improve SDF read p99 at matched read rates (<=15% skew),
+//	          the steady-state run must never fall back to forced
+//	          erases, the coordinated cluster must hold its p99 SLO
+//	          within budget, and the chaos stage must lose no
+//	          acknowledged data while staying above a zero availability
+//	          floor; exit 1 on any violation
 package main
 
 import (
@@ -61,6 +71,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"sort"
 	"time"
@@ -159,6 +170,12 @@ func main() {
 			os.Exit(2)
 		}
 		recoveryReport(flag.Arg(2))
+	case "codesign":
+		if flag.NArg() != 3 || flag.Arg(1) != "report" {
+			fmt.Fprintln(os.Stderr, "usage: sdfctl codesign report <BENCH_codesign.json>")
+			os.Exit(2)
+		}
+		codesignReport(flag.Arg(2))
 	default:
 		fmt.Fprintf(os.Stderr, "sdfctl: unknown command %q\n", flag.Arg(0))
 		os.Exit(2)
@@ -244,6 +261,78 @@ func recoveryReport(path string) {
 		os.Exit(1)
 	}
 	fmt.Println("bounded-recovery contract holds")
+}
+
+// codesignReport reads a BENCH_codesign.json written by sdfbench,
+// prints the erase/write co-scheduling comparison, and enforces the
+// co-design contract behind it. CI's codesign-smoke runs it so a
+// change that quietly breaks the coordination win — or regresses the
+// chaos stage into losing acknowledged data — fails the build.
+func codesignReport(path string) {
+	doc := loadBenchFields(path)
+	metricsAny, ok := doc["metrics"].(map[string]any)
+	if !ok {
+		log.Fatalf("%s: no metrics block", path)
+	}
+	met := func(key string) float64 {
+		v, ok := metricsAny[key].(float64)
+		if !ok {
+			log.Fatalf("%s: metric %q missing", path, key)
+		}
+		return v
+	}
+
+	violations := 0
+	violated := func(format string, args ...any) {
+		fmt.Printf("  VIOLATED: "+format+"\n", args...)
+		violations++
+	}
+
+	fmt.Printf("erase/write co-scheduling (%s):\n", path)
+	fmt.Printf("  %-18s %10s %10s %10s\n", "", "coord", "nocoord", "gen3")
+	for _, r := range [][2]string{
+		{"read p99 (ms)", "p99_ms"},
+		{"read p999 (ms)", "p999_ms"},
+		{"reads/s", "reads_per_s"},
+		{"writes acked/s", "writes_per_s"},
+		{"SLO p99 burn", "slo_p99_burn"},
+	} {
+		fmt.Printf("  %-18s %10.3f %10.3f %10.3f\n", r[0],
+			met("coord."+r[1]), met("nocoord."+r[1]), met("gen3."+r[1]))
+	}
+	fmt.Printf("  windows: %.0f granted, %.0f deferred, %.0f forced; %.0f reads routed around windows; %.0f writes delayed, %.0f shed\n",
+		met("coord.window_grants"), met("coord.deferred"), met("coord.forced"),
+		met("coord.window_deprioritized"), met("coord.delayed_writes"), met("coord.shed_writes"))
+	fmt.Printf("  chaos: floor %.0f B/s, %.0f lost, %.0f best-effort writes, %.0f forced erases, %.0f remounts, burn %.2f\n",
+		met("chaos.floor"), met("chaos.lost"), met("chaos.best_effort"),
+		met("chaos.forced"), met("chaos.remounts"), met("chaos.slo_p99_burn"))
+
+	if c, n := met("coord.p99_ms"), met("nocoord.p99_ms"); c >= n {
+		violated("coordination did not improve read p99 (%.3fms vs %.3fms uncoordinated)", c, n)
+	}
+	base := met("coord.reads_per_s")
+	for _, k := range []string{"nocoord.reads_per_s", "gen3.reads_per_s"} {
+		if skew := math.Abs(met(k)-base) / base; skew > 0.15 {
+			violated("%s skews %.0f%% from the coordinated cluster; the tail comparison is not at equal throughput", k, skew*100)
+		}
+	}
+	if f := met("coord.forced"); f != 0 {
+		violated("%.0f forced erases in the steady-state run; the window rotation is starving members", f)
+	}
+	if b := met("coord.slo_p99_burn"); b > 1 {
+		violated("coordinated cluster overspent its p99 error budget (burn %.2f)", b)
+	}
+	if l := met("chaos.lost"); l != 0 {
+		violated("chaos stage lost %.0f acknowledged reads", l)
+	}
+	if f := met("chaos.floor"); f <= 0 {
+		violated("chaos availability floor is zero; the cluster went fully dark")
+	}
+	if violations > 0 {
+		fmt.Fprintf(os.Stderr, "sdfctl: %d co-design violations in %s\n", violations, path)
+		os.Exit(1)
+	}
+	fmt.Println("co-design contract holds")
 }
 
 // benchDiff compares two BENCH_<experiment>.json files on their

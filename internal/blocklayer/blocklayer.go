@@ -55,6 +55,28 @@ const (
 	PlacementLeastLoaded
 )
 
+// EraseGate coordinates background erases across the replicas of a
+// slice (internal/coord, DESIGN.md §16). AcquireErase is called with
+// the channel's pre-erased pool depth before every background erase;
+// it may park the eraser until this replica is granted an erase
+// window, and reports whether the forced-erase escape hatch fired
+// instead. The returned release must be called (idempotently) once
+// the erase completes.
+type EraseGate interface {
+	AcquireErase(p *sim.Proc, free int) (release func(), forced bool)
+}
+
+// PoolNotifier is an optional EraseGate extension: a gate that also
+// implements it is told, park-free, whenever a write consumes from a
+// channel's pre-erased pool. The gate uses the updated depth to wake
+// parked erase requests whose urgency has changed since they queued —
+// without it, a request parked while the pool was deep would sleep
+// through the pool draining to empty beneath it, degrading foreground
+// writes to ungated inline erases.
+type PoolNotifier interface {
+	PoolLow(free int)
+}
+
 // Config tunes the layer.
 type Config struct {
 	// BackgroundErase schedules erases of freed blocks into channel
@@ -66,6 +88,24 @@ type Config struct {
 	IdlePollInterval time.Duration
 	// Placement selects the write-placement policy.
 	Placement Placement
+
+	// EraseGate, when non-nil, gates every background erase (and the
+	// scrub backlog) behind the replica's erase-window coordinator, so
+	// no two replicas of a slice pay their 3 ms erases at once. Nil
+	// keeps the layer's standalone behavior exactly.
+	EraseGate EraseGate
+
+	// StaticWL enables static wear leveling: when a channel's erase
+	// count spread exceeds WearSpreadThreshold, the eraser migrates
+	// the coldest mapped block (lowest physical erase count — e.g. a
+	// recovered block that has sat unmodified since mount) to a fresh
+	// block, returning its cold media to the erase pools. Migrations
+	// are credited by foreground writes, so an idle device performs
+	// none and the event queue still drains.
+	StaticWL bool
+	// WearSpreadThreshold is the max-minus-min erase count spread on
+	// one channel that triggers a migration. Defaults to 8.
+	WearSpreadThreshold int
 
 	// QuarantineThreshold is how many consecutive command failures on
 	// one channel put it into quarantine. A dead-engine error
@@ -102,6 +142,11 @@ type chanState struct {
 	// not wait for channel idle time.
 	scrubBacklog int
 
+	// wlCredits bounds static wear leveling: each foreground write
+	// earns the channel one migration credit (capped), so migrations
+	// can never outpace the workload — and stop when it stops.
+	wlCredits int
+
 	consecErrs       int
 	quarantinedUntil time.Duration // virtual instant quarantine lifts
 	quarantines      metrics.Counter
@@ -126,6 +171,11 @@ type Layer struct {
 	readRetries      metrics.Counter
 	placementSkips   metrics.Counter
 	scrubs           metrics.Counter
+	wlMigrations     metrics.Counter
+
+	// poolLow is EraseGate's PoolLow when the gate implements
+	// PoolNotifier, else nil; resolved once at construction.
+	poolLow func(free int)
 }
 
 // New builds the layer; all device blocks start as dirty (needing an
@@ -160,6 +210,9 @@ func newLayer(env *sim.Env, dev *core.Device, cfg Config) *Layer {
 	if cfg.RetryBackoff <= 0 {
 		cfg.RetryBackoff = 50 * time.Microsecond
 	}
+	if cfg.WearSpreadThreshold <= 0 {
+		cfg.WearSpreadThreshold = 8
+	}
 	l := &Layer{
 		cfg:      cfg,
 		env:      env,
@@ -169,6 +222,9 @@ func newLayer(env *sim.Env, dev *core.Device, cfg Config) *Layer {
 	}
 	for c := 0; c < dev.Channels(); c++ {
 		l.chans = append(l.chans, &chanState{work: sim.NewSignal(env)})
+	}
+	if n, ok := cfg.EraseGate.(PoolNotifier); ok {
+		l.poolLow = n.PoolLow
 	}
 	return l
 }
@@ -336,6 +392,11 @@ func (l *Layer) Write(p *sim.Proc, id BlockID, data []byte) (Handle, error) {
 	case len(cs.erased) > 0:
 		lbn = cs.erased[len(cs.erased)-1]
 		cs.erased = cs.erased[:len(cs.erased)-1]
+		if l.poolLow != nil {
+			// Parked erase requests re-evaluate their urgency against
+			// the shrinking pool (see PoolNotifier).
+			l.poolLow(len(cs.erased))
+		}
 		if err := l.dev.WriteTagged(p, c, lbn, data, tag); err != nil {
 			// Block state is uncertain after a failed program; return
 			// it via the dirty pool so it is re-erased before reuse.
@@ -362,6 +423,11 @@ func (l *Layer) Write(p *sim.Proc, id BlockID, data []byte) (Handle, error) {
 		return Handle{}, fmt.Errorf("%w: channel %d", ErrNoSpace, c)
 	}
 	l.recordSuccess(c)
+	if l.cfg.StaticWL && cs.wlCredits < 4 {
+		// Each foreground write earns one static-WL migration credit,
+		// bounding background churn by the workload itself.
+		cs.wlCredits++
+	}
 	h := Handle{Channel: c, LBN: lbn}
 	l.blocks[id] = h
 	l.writes.Inc()
@@ -382,6 +448,11 @@ func (l *Layer) Read(p *sim.Proc, id BlockID, off, size int) ([]byte, error) {
 	defer end()
 	l.reads.Inc()
 	for attempt := 0; ; attempt++ {
+		// Re-resolve per attempt: a static-WL migration may have moved
+		// the block between retries, and the retry must follow it.
+		if cur, ok := l.blocks[id]; ok {
+			h = cur
+		}
 		data, err := l.dev.Read(p, h.Channel, h.LBN, off, size)
 		if err == nil {
 			l.recordSuccess(h.Channel)
@@ -482,6 +553,26 @@ func (l *Layer) HealthStats() (quarantines, readRetries, placementSkips int64) {
 	return quarantines, l.readRetries.Value(), l.placementSkips.Value()
 }
 
+// wearSpread returns the widest erase-count spread (max minus min)
+// across the device's channels — the quantity static wear leveling
+// drives back under WearSpreadThreshold. Park-free (gauge-safe).
+func (l *Layer) wearSpread() int {
+	spread := 0
+	for c := range l.chans {
+		ws := l.dev.Channel(c).Wear()
+		if s := ws.MaxErase - ws.MinErase; s > spread {
+			spread = s
+		}
+	}
+	return spread
+}
+
+// WearLevelStats returns (static wear-leveling migrations performed,
+// current worst per-channel erase-count spread).
+func (l *Layer) WearLevelStats() (migrations int64, spread int) {
+	return l.wlMigrations.Value(), l.wearSpread()
+}
+
 // RegisterMetrics adopts the layer's counters into r and installs
 // free-space and health gauges. Per-channel quarantine counters keep
 // their channel identity via a chan label; the gauges reduce channel
@@ -500,6 +591,10 @@ func (l *Layer) RegisterMetrics(r *metrics.Registry, labels ...metrics.Label) {
 	r.RegisterCounter("blocklayer_read_retries_total", &l.readRetries, labels...)
 	r.RegisterCounter("blocklayer_placement_skips_total", &l.placementSkips, labels...)
 	r.RegisterCounter("blocklayer_scrubbed_blocks_total", &l.scrubs, labels...)
+	r.RegisterCounter("blocklayer_static_wl_migrations_total", &l.wlMigrations, labels...)
+	r.GaugeFunc("blocklayer_wear_spread", func() float64 {
+		return float64(l.wearSpread())
+	}, labels...)
 	for c, cs := range l.chans {
 		r.RegisterCounter("blocklayer_quarantines_total", &cs.quarantines,
 			append(append([]metrics.Label(nil), labels...), metrics.L("chan", fmt.Sprint(c)))...)
@@ -532,11 +627,17 @@ func (l *Layer) RegisterMetrics(r *metrics.Registry, labels ...metrics.Label) {
 
 // eraseLoop is the per-channel idle-time eraser: it drains the dirty
 // pool whenever the channel engine is idle, deferring to foreground
-// traffic otherwise.
+// traffic otherwise. With an EraseGate configured, each erase first
+// acquires the replica's erase window (or the forced hatch); with
+// StaticWL, idle time with a wide wear spread triggers cold-block
+// migrations whose freed media re-enters this same loop.
 func (l *Layer) eraseLoop(p *sim.Proc, c int) {
 	cs := l.chans[c]
 	for {
 		if len(cs.dirty) == 0 || !l.dev.Channel(c).Alive() {
+			if l.maybeStaticWL(p, c) {
+				continue // the migration queued the cold block for erase
+			}
 			// Nothing to do — or the engine is offline and a timer poll
 			// would keep the event queue alive forever on a channel
 			// that never comes back. Park until more blocks are freed
@@ -556,9 +657,22 @@ func (l *Layer) eraseLoop(p *sim.Proc, c int) {
 			p.Wait(l.cfg.IdlePollInterval)
 			continue
 		}
+		release := func() {}
+		if l.cfg.EraseGate != nil {
+			release, _ = l.cfg.EraseGate.AcquireErase(p, len(cs.erased))
+			// The grant may have parked this eraser for a while:
+			// re-validate the work before touching the pools.
+			if len(cs.dirty) == 0 || !l.dev.Channel(c).Alive() {
+				release()
+				continue
+			}
+			scrub = cs.scrubBacklog > 0
+		}
 		lbn := cs.dirty[len(cs.dirty)-1]
 		cs.dirty = cs.dirty[:len(cs.dirty)-1]
-		if err := l.dev.Erase(p, c, lbn); err != nil {
+		err := l.dev.Erase(p, c, lbn)
+		release()
+		if err != nil {
 			if errors.Is(err, flashchan.ErrChannelDead) || errors.Is(err, flashchan.ErrPowerLoss) {
 				// Killed between the aliveness check and the command
 				// (or power died mid-erase): keep the backlog for
@@ -582,4 +696,78 @@ func (l *Layer) eraseLoop(p *sim.Proc, c int) {
 			l.backgroundErases.Inc()
 		}
 	}
+}
+
+// maybeStaticWL performs at most one static wear-leveling migration
+// on channel c: when the channel's erase-count spread exceeds the
+// threshold, the coldest mapped block (deterministically: sorted ID
+// order, lowest mean physical erase count, lowest ID breaking ties)
+// is rewritten to a fresh block and its cold media queued for erase —
+// recovered blocks that sat unmodified since mount finally rejoin
+// circulation. Runs only on an idle, live channel with migration
+// credits (earned by foreground writes) and at least two pre-erased
+// blocks, so it never starves the foreground write path and never
+// keeps an idle simulation alive. Reports whether it migrated.
+func (l *Layer) maybeStaticWL(p *sim.Proc, c int) bool {
+	if !l.cfg.StaticWL {
+		return false
+	}
+	cs := l.chans[c]
+	ch := l.dev.Channel(c)
+	if cs.wlCredits <= 0 || len(cs.erased) < 2 || !ch.Alive() || !ch.Idle() {
+		return false
+	}
+	ws := ch.Wear()
+	if ws.MaxErase-ws.MinErase < l.cfg.WearSpreadThreshold {
+		return false
+	}
+	victim, wear := BlockID(0), -1
+	for _, id := range l.IDs() {
+		h := l.blocks[id]
+		if h.Channel != c {
+			continue
+		}
+		w, ok := ch.LBNWear(h.LBN)
+		if !ok {
+			continue
+		}
+		if wear < 0 || w < wear {
+			victim, wear = id, w
+		}
+	}
+	// Only data parked on genuinely cold media is worth moving: the
+	// victim must sit in the bottom half of the spread, or migration
+	// would churn blocks the dynamic wear heap already rotates.
+	if wear < 0 || wear > ws.MinErase+l.cfg.WearSpreadThreshold/2 {
+		return false
+	}
+	h := l.blocks[victim]
+	end := l.beginOp(p, "blocklayer/static-wl")
+	defer end()
+	data, err := l.dev.Read(p, c, h.LBN, 0, l.BlockSize())
+	if err != nil {
+		l.recordError(c, err)
+		return false
+	}
+	dst := cs.erased[len(cs.erased)-1]
+	cs.erased = cs.erased[:len(cs.erased)-1]
+	if l.poolLow != nil {
+		l.poolLow(len(cs.erased))
+	}
+	if err := l.dev.WriteTagged(p, c, dst, data, flashchan.WriteID{Lo: uint64(victim)}); err != nil {
+		cs.dirty = append(cs.dirty, dst)
+		cs.work.Fire()
+		l.recordError(c, err)
+		return false
+	}
+	// The new copy supersedes the old by write sequence, so a crash
+	// between this program and the erase below recovers the fresh copy
+	// and stale-discards the cold one — the oracle's remount path
+	// already resolves exactly this shape.
+	l.blocks[victim] = Handle{Channel: c, LBN: dst}
+	cs.dirty = append(cs.dirty, h.LBN)
+	cs.wlCredits--
+	l.wlMigrations.Inc()
+	l.recordSuccess(c)
+	return true
 }

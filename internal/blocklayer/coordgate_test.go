@@ -1,0 +1,146 @@
+package blocklayer
+
+import (
+	"testing"
+	"time"
+
+	"sdf/internal/coord"
+	"sdf/internal/sim"
+)
+
+// overlapGate wraps a coordinator member as an EraseGate and records,
+// via shared state, whether two layers ever ran granted erases
+// concurrently. It forwards PoolLow so the urgency path stays wired.
+type overlapGate struct {
+	m       *coord.Member
+	idx     int
+	active  *[2]int
+	overlap *int
+}
+
+func (g *overlapGate) AcquireErase(p *sim.Proc, free int) (func(), bool) {
+	release, forced := g.m.AcquireErase(p, free)
+	if forced {
+		return release, true
+	}
+	g.active[g.idx]++
+	if g.active[1-g.idx] > 0 {
+		*g.overlap++
+	}
+	done := false
+	return func() {
+		if !done {
+			done = true
+			g.active[g.idx]--
+		}
+		release()
+	}, false
+}
+
+func (g *overlapGate) PoolLow(free int) { g.m.PoolLow(free) }
+
+// TestEraseGateSerializesAcrossLayers: two independent block layers
+// (two replicas of a slice) share one coordinator; under concurrent
+// write/free churn on both, their background erases must never
+// overlap — the cluster-level half of the no-overlap invariant that
+// internal/coord's chaos test checks at the protocol level.
+func TestEraseGateSerializesAcrossLayers(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	co := coord.New(env, coord.Config{Window: 2 * time.Millisecond, MaxWait: time.Second})
+	var active [2]int
+	overlap := 0
+	var layers [2]*Layer
+	for i := 0; i < 2; i++ {
+		d := smallDevice(t, env, false)
+		cfg := DefaultConfig()
+		cfg.EraseGate = &overlapGate{
+			m:       co.Register([]string{"r1", "r2"}[i]),
+			idx:     i,
+			active:  &active,
+			overlap: &overlap,
+		}
+		layers[i] = New(env, d, cfg)
+	}
+	for i := 0; i < 2; i++ {
+		l := layers[i]
+		env.Go("churn", func(p *sim.Proc) {
+			for k := 0; k < 60; k++ {
+				id := BlockID(k)
+				if _, err := l.Write(p, id, nil); err != nil {
+					t.Errorf("write %d: %v", k, err)
+					return
+				}
+				if err := l.Free(p, id); err != nil {
+					t.Errorf("free %d: %v", k, err)
+					return
+				}
+			}
+		})
+	}
+	env.Run()
+	if overlap != 0 {
+		t.Errorf("%d overlapping granted erases between the two layers", overlap)
+	}
+	st := co.Stats()
+	if st.Grants < 2 {
+		t.Fatalf("stats %+v: churn on both layers should grant windows to both", st)
+	}
+}
+
+// TestForcedHatchKeepsWritesOffInlineErases: a peer replica holds the
+// erase window indefinitely (MaxWait is effectively infinite), so the
+// victim's background reclaim can only proceed through the pool-low
+// forced hatch. The starvation bound must keep the foreground write
+// path supplied with pre-erased blocks: no write may fail and none
+// may degrade to an ungated inline erase.
+func TestForcedHatchKeepsWritesOffInlineErases(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	// ForceFreeBlocks leaves headroom for the erase latency itself: the
+	// hatch opens while enough pre-erased blocks remain to cover writes
+	// issued during the in-flight forced erase.
+	co := coord.New(env, coord.Config{Window: time.Millisecond, MaxWait: time.Hour, ForceFreeBlocks: 4})
+	hog := co.Register("hog")
+	victim := co.Register("victim")
+	env.Go("hog", func(p *sim.Proc) {
+		// Grabs the window at t=0 and never releases: the victim can
+		// win a grant only through the forced hatch.
+		release, _ := hog.AcquireErase(p, 10)
+		defer release()
+		p.Wait(time.Hour)
+	})
+	d := smallDevice(t, env, false)
+	cfg := DefaultConfig()
+	cfg.EraseGate = victim
+	l := New(env, d, cfg)
+	w := env.Go("churn", func(p *sim.Proc) {
+		// All blocks start dirty; the startup erasers run forced (pool
+		// at zero) until they climb past the floor and park. Start the
+		// churn once the pools are primed — from here on, every erase
+		// the churn needs must come through a PoolLow forced wake.
+		p.Wait(40 * time.Millisecond)
+		// 8 blocks/plane and 4 channels: 100 write/free cycles recycle
+		// the pools many times over, so reclaim must keep pace.
+		for k := 0; k < 100; k++ {
+			id := BlockID(k)
+			if _, err := l.Write(p, id, nil); err != nil {
+				t.Fatalf("write %d starved: %v", k, err)
+			}
+			if err := l.Free(p, id); err != nil {
+				t.Fatalf("free %d: %v", k, err)
+			}
+		}
+	})
+	env.RunUntilDone(w)
+	if _, _, inline, _ := l.Stats(); inline != 0 {
+		t.Errorf("%d inline erases: the write path fell behind the gated eraser", inline)
+	}
+	st := co.Stats()
+	if st.Forced == 0 {
+		t.Error("victim never forced an erase despite a starved window")
+	}
+	if st.Timeouts != 0 {
+		t.Errorf("stats %+v: forced erases should come from pool urgency, not MaxWait", st)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"sdf/internal/ccdb"
+	"sdf/internal/coord"
 	"sdf/internal/metrics"
 	"sdf/internal/sim"
 	"sdf/internal/trace"
@@ -41,6 +42,9 @@ var (
 	// ErrReplicaTimeout reports a replica write that missed the
 	// group's deadline.
 	ErrReplicaTimeout = errors.New("cluster: replica deadline exceeded")
+	// ErrWriteShed reports a write rejected by SLO admission control:
+	// the error-budget burn priced its delay above Admission.MaxDelay.
+	ErrWriteShed = errors.New("cluster: write shed by admission control")
 )
 
 // Node is one storage server holding a replica: a CCDB slice plus the
@@ -64,6 +68,12 @@ type Node struct {
 	catchingUp bool
 	onFail     func()
 	onRemount  func(p *sim.Proc) (*ccdb.Slice, error)
+	// window is the node's erase-window membership in the slice's
+	// coordinator (DESIGN.md §16), nil when co-scheduling is off. The
+	// group consults it in readOrder (a replica inside a granted window
+	// is paying erase latency — route around it) and keeps its liveness
+	// in sync so a dead replica never holds or queues for a window.
+	window *coord.Member
 }
 
 // NewNode wraps a slice as a replica node with a 10 GbE NIC.
@@ -79,6 +89,14 @@ func NewNode(env *sim.Env, name string, slice *ccdb.Slice) *Node {
 
 // NIC returns the node's network link, so fault plans can degrade it.
 func (n *Node) NIC() *sim.SharedLink { return n.nic }
+
+// SetWindow wires the node's erase-window coordinator membership; the
+// same Member should gate the node's block layer (Config.EraseGate).
+func (n *Node) SetWindow(m *coord.Member) { n.window = m }
+
+// inWindow reports whether the replica is currently inside a granted
+// (or forced) erase window.
+func (n *Node) inWindow() bool { return n.window != nil && n.window.InWindow() }
 
 // SetPowerHooks wires the node for power-loss injection. fail runs at
 // the crash instant in scheduler context (it must not block — flag
@@ -107,6 +125,20 @@ type Config struct {
 	// current one has not answered within this much virtual time,
 	// instead of waiting for it to fail. 0 disables hedging.
 	HedgeAfter time.Duration
+	// ReadDeadline is each Get's virtual-time deadline, measured from
+	// its start. It does not abort the read; it caps every hedge timer
+	// at the original deadline, so retries and hedges decrement one
+	// shared budget instead of re-arming HedgeAfter per replica — once
+	// the deadline passes, the group fans out to every remaining
+	// replica immediately. 0 disables the deadline.
+	ReadDeadline time.Duration
+	// Admission, when non-nil, gates every Put through SLO admission
+	// control (DESIGN.md §16): the token bucket throttles to the read
+	// SLO's error-budget burn, delaying or shedding writes. When a
+	// majority of replicas is down the gate is bypassed — the group
+	// degrades to best-effort admission rather than shedding writes a
+	// mostly-dead group needs for durability.
+	Admission *coord.Admission
 }
 
 // DefaultConfig enables read-repair, a 500 ms replica write deadline,
@@ -146,6 +178,13 @@ type Stats struct {
 	// DeprioritizedReads counts reads routed around a replica that was
 	// mid-catch-up (remounted or restarted, re-replication in flight).
 	DeprioritizedReads int64
+	// WindowDeprioritizedReads counts reads routed around a replica
+	// inside a granted erase window.
+	WindowDeprioritizedReads int64
+	// DelayedWrites and ShedWrites count admission-control outcomes;
+	// BestEffortWrites counts puts that bypassed admission because a
+	// majority of replicas was down.
+	DelayedWrites, ShedWrites, BestEffortWrites int64
 }
 
 // groupCounters is the group's real counter storage. RegisterMetrics
@@ -155,7 +194,9 @@ type groupCounters struct {
 	puts, gets, failovers, repairs, lost  metrics.Counter
 	divergentPuts, hedges, rereplications metrics.Counter
 	remounts, failedRemounts              metrics.Counter
-	deprioritized                         metrics.Counter
+	deprioritized, windowDeprioritized    metrics.Counter
+	delayedWrites, shedWrites             metrics.Counter
+	bestEffortWrites                      metrics.Counter
 }
 
 // Group is a replicated keyspace across nodes; nodes[0] is the
@@ -187,17 +228,21 @@ func (g *Group) Nodes() []*Node { return g.nodes }
 // Stats returns the group's cumulative counters.
 func (g *Group) Stats() Stats {
 	return Stats{
-		Puts:               g.ctr.puts.Value(),
-		Gets:               g.ctr.gets.Value(),
-		Failovers:          g.ctr.failovers.Value(),
-		Repairs:            g.ctr.repairs.Value(),
-		Lost:               g.ctr.lost.Value(),
-		DivergentPuts:      g.ctr.divergentPuts.Value(),
-		Hedges:             g.ctr.hedges.Value(),
-		Rereplications:     g.ctr.rereplications.Value(),
-		Remounts:           g.ctr.remounts.Value(),
-		FailedRemounts:     g.ctr.failedRemounts.Value(),
-		DeprioritizedReads: g.ctr.deprioritized.Value(),
+		Puts:                     g.ctr.puts.Value(),
+		Gets:                     g.ctr.gets.Value(),
+		Failovers:                g.ctr.failovers.Value(),
+		Repairs:                  g.ctr.repairs.Value(),
+		Lost:                     g.ctr.lost.Value(),
+		DivergentPuts:            g.ctr.divergentPuts.Value(),
+		Hedges:                   g.ctr.hedges.Value(),
+		Rereplications:           g.ctr.rereplications.Value(),
+		Remounts:                 g.ctr.remounts.Value(),
+		FailedRemounts:           g.ctr.failedRemounts.Value(),
+		DeprioritizedReads:       g.ctr.deprioritized.Value(),
+		WindowDeprioritizedReads: g.ctr.windowDeprioritized.Value(),
+		DelayedWrites:            g.ctr.delayedWrites.Value(),
+		ShedWrites:               g.ctr.shedWrites.Value(),
+		BestEffortWrites:         g.ctr.bestEffortWrites.Value(),
 	}
 }
 
@@ -222,6 +267,10 @@ func (g *Group) RegisterMetrics(r *metrics.Registry, labels ...metrics.Label) {
 	r.RegisterCounter("cluster_remounts_total", &g.ctr.remounts, labels...)
 	r.RegisterCounter("cluster_failed_remounts_total", &g.ctr.failedRemounts, labels...)
 	r.RegisterCounter("cluster_deprioritized_reads_total", &g.ctr.deprioritized, labels...)
+	r.RegisterCounter("cluster_window_deprioritized_reads_total", &g.ctr.windowDeprioritized, labels...)
+	r.RegisterCounter("cluster_admission_delayed_writes_total", &g.ctr.delayedWrites, labels...)
+	r.RegisterCounter("cluster_admission_shed_writes_total", &g.ctr.shedWrites, labels...)
+	r.RegisterCounter("cluster_admission_best_effort_writes_total", &g.ctr.bestEffortWrites, labels...)
 	g.readLat = r.Histogram("cluster_read_latency_seconds", labels...)
 	r.GaugeFunc("cluster_dirty_keys", func() float64 {
 		var n int
@@ -257,6 +306,9 @@ func (g *Group) CrashNode(name string) bool {
 	for _, node := range g.nodes {
 		if node.Name == name && node.alive {
 			node.alive = false
+			if node.window != nil {
+				node.window.SetLive(false)
+			}
 			return true
 		}
 	}
@@ -275,6 +327,9 @@ func (g *Group) PowerLossNode(name string) bool {
 		if node.Name == name && node.alive {
 			node.alive = false
 			node.lostPower = true
+			if node.window != nil {
+				node.window.SetLive(false)
+			}
 			if node.onFail != nil {
 				node.onFail()
 			}
@@ -311,6 +366,9 @@ func (g *Group) RestartNode(name string) bool {
 				node.lostPower = false
 				node.catchingUp = true
 				node.alive = true
+				if node.window != nil {
+					node.window.SetLive(true)
+				}
 				g.ctr.remounts.Inc()
 				g.rereplicate(p, node)
 				node.catchingUp = false
@@ -319,6 +377,9 @@ func (g *Group) RestartNode(name string) bool {
 		}
 		node.alive = true
 		node.catchingUp = true
+		if node.window != nil {
+			node.window.SetLive(true)
+		}
 		g.env.Go("cluster/rereplicate", func(p *sim.Proc) {
 			g.rereplicate(p, node)
 			node.catchingUp = false
@@ -338,6 +399,28 @@ func (g *Group) RestartNode(name string) bool {
 // (DivergentPuts) until read-repair or re-replication reconciles the
 // nodes marked dirty.
 func (g *Group) Put(p *sim.Proc, key string, value []byte, size int) error {
+	if g.cfg.Admission != nil {
+		live := 0
+		for _, node := range g.nodes {
+			if node.alive {
+				live++
+			}
+		}
+		if 2*live > len(g.nodes) {
+			switch g.cfg.Admission.Admit(p) {
+			case coord.Delayed:
+				g.ctr.delayedWrites.Inc()
+			case coord.Shed:
+				g.ctr.shedWrites.Inc()
+				return ErrWriteShed
+			}
+		} else {
+			// Majority down: shedding writes now would cost durability
+			// exactly when the group can least afford it. Degrade to
+			// best-effort admission until replicas return.
+			g.ctr.bestEffortWrites.Inc()
+		}
+	}
 	n := len(g.nodes)
 	errs := make([]error, n)
 	workers := make([]*sim.Proc, n)
@@ -401,25 +484,34 @@ func (g *Group) Put(p *sim.Proc, key string, value []byte, size int) error {
 }
 
 // readOrder returns the replica indices in routing order: placement
-// order, but with replicas still catching up after a remount or
-// restart (re-replication in flight) moved behind every settled one —
-// a half-caught-up replica serves reads only when no settled replica
-// can, keeping its recovery bandwidth for the catch-up itself and its
-// possibly-stale keys out of the fast path.
+// order, but with replicas currently inside a granted erase window
+// moved behind every settled one (they are paying erase latency right
+// now — the coordinator guarantees at most one per slice, so a settled
+// replica always exists while a majority is live), and replicas still
+// catching up after a remount or restart (re-replication in flight)
+// behind those — a half-caught-up replica serves reads only when no
+// other replica can, keeping its recovery bandwidth for the catch-up
+// itself and its possibly-stale keys out of the fast path.
 func (g *Group) readOrder() []int {
 	order := make([]int, 0, len(g.nodes))
-	var lagging []int
+	var inWindow, lagging []int
 	for i, node := range g.nodes {
-		if node.alive && node.catchingUp {
+		switch {
+		case node.alive && node.catchingUp:
 			lagging = append(lagging, i)
-			continue
+		case node.alive && node.inWindow():
+			inWindow = append(inWindow, i)
+		default:
+			order = append(order, i)
 		}
-		order = append(order, i)
+	}
+	if len(inWindow) > 0 {
+		g.ctr.windowDeprioritized.Inc()
 	}
 	if len(lagging) > 0 {
 		g.ctr.deprioritized.Inc()
 	}
-	return append(order, lagging...)
+	return append(append(order, inWindow...), lagging...)
 }
 
 // Get serves a read from the replicas in routing order (placement
@@ -433,6 +525,14 @@ func (g *Group) Get(p *sim.Proc, key string) ([]byte, int, error) {
 	g.ctr.gets.Inc()
 	order := g.readOrder()
 	start := g.env.Now()
+	// With a read deadline, every hedge timer is clamped to the one
+	// deadline set at the start: slow replicas burn the shared budget,
+	// they do not re-arm it. Past the deadline the loop stops waiting
+	// and fans out to every remaining replica back-to-back.
+	var deadline time.Duration
+	if g.cfg.ReadDeadline > 0 {
+		deadline = start + g.cfg.ReadDeadline
+	}
 	type result struct {
 		value []byte
 		size  int
@@ -501,6 +601,9 @@ func (g *Group) Get(p *sim.Proc, key string) ([]byte, int, error) {
 			outstanding = append(outstanding, i)
 			next++
 			hedgeAt = g.env.Now() + g.cfg.HedgeAfter
+			if deadline > 0 && hedgeAt > deadline {
+				hedgeAt = deadline
+			}
 			continue
 		}
 		// Park until any outstanding read finishes or the hedge timer

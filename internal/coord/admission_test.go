@@ -1,0 +1,119 @@
+package coord
+
+import (
+	"testing"
+	"time"
+
+	"sdf/internal/sim"
+)
+
+// TestAdmissionBurstThenThrottle: the bucket admits Burst writes
+// back-to-back, then a lone writer settles into one delay per token
+// interval — its own park time refills the bucket, so it is paced,
+// never shed.
+func TestAdmissionBurstThenThrottle(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	// 100 writes/s -> one token per 10 ms; burst 2; max delay 15 ms.
+	a := NewAdmission(env, AdmissionConfig{Rate: 100, Burst: 2, MaxDelay: 15 * time.Millisecond}, nil)
+	var verdicts []Verdict
+	env.Go("writer", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			verdicts = append(verdicts, a.Admit(p))
+		}
+	})
+	env.Run()
+	want := []Verdict{Admitted, Admitted, Delayed, Delayed, Delayed}
+	for i := range want {
+		if verdicts[i] != want[i] {
+			t.Fatalf("verdicts = %v, want %v", verdicts, want)
+		}
+	}
+	// Three 10 ms delays: the writer is paced at exactly Rate.
+	if got, want := env.Now(), 30*time.Millisecond; got != want {
+		t.Errorf("writer finished at %v, want %v (paced at Rate)", got, want)
+	}
+	st := a.Stats()
+	if st.Admitted != 2 || st.Delayed != 3 || st.Shed != 0 {
+		t.Errorf("stats = %+v, want 2 admitted / 3 delayed / 0 shed", st)
+	}
+}
+
+// TestAdmissionConcurrentShed: concurrent writers reserve tokens in
+// arrival order; the one whose queued wait prices past MaxDelay is
+// shed.
+func TestAdmissionConcurrentShed(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	a := NewAdmission(env, AdmissionConfig{Rate: 100, Burst: 1, MaxDelay: 15 * time.Millisecond}, nil)
+	verdicts := make([]Verdict, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		env.Go("writer", func(p *sim.Proc) { verdicts[i] = a.Admit(p) })
+	}
+	env.Run()
+	want := []Verdict{Admitted, Delayed, Shed}
+	for i := range want {
+		if verdicts[i] != want[i] {
+			t.Fatalf("verdicts = %v, want %v (arrival-order reservation)", verdicts, want)
+		}
+	}
+}
+
+// TestAdmissionBurnThrottles: an overspent error budget scales the
+// admitted rate down as 1/burn, floored at MinFactor.
+func TestAdmissionBurnThrottles(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	burn := 1.0
+	a := NewAdmission(env, AdmissionConfig{
+		Rate: 1000, Burst: 1, MaxDelay: time.Second, MinFactor: 0.1,
+	}, func() float64 { return burn })
+	var gaps []time.Duration
+	env.Go("writer", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			before := env.Now()
+			a.Admit(p)
+			gaps = append(gaps, env.Now()-before)
+		}
+		p.Wait(10 * time.Millisecond) // let the bucket settle to full
+		burn = 4                      // budget overspent: rate drops to 250/s
+		for i := 0; i < 3; i++ {
+			before := env.Now()
+			a.Admit(p)
+			gaps = append(gaps, env.Now()-before)
+		}
+	})
+	env.Run()
+	// Within budget: 1 ms per token after the 1-deep burst.
+	if gaps[1] != time.Millisecond || gaps[2] != time.Millisecond {
+		t.Errorf("in-budget gaps = %v, want 1ms steady state", gaps[:3])
+	}
+	// Burn 4: the burst token goes free, then each token takes 4 ms.
+	if gaps[3] != 0 || gaps[4] != 4*time.Millisecond || gaps[5] != 4*time.Millisecond {
+		t.Errorf("burned gaps = %v, want [0 4ms 4ms]", gaps[3:])
+	}
+}
+
+// TestAdmissionBestEffort: best-effort mode admits everything without
+// touching the bucket.
+func TestAdmissionBestEffort(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	a := NewAdmission(env, AdmissionConfig{Rate: 1, Burst: 1, MaxDelay: time.Microsecond}, nil)
+	a.SetBestEffort(true)
+	env.Go("writer", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			if v := a.Admit(p); v != Admitted {
+				t.Errorf("best-effort verdict = %v, want Admitted", v)
+			}
+		}
+		if env.Now() != 0 {
+			t.Error("best-effort admission parked")
+		}
+	})
+	env.Run()
+	if st := a.Stats(); st.Admitted != 10 || st.Delayed != 0 || st.Shed != 0 {
+		t.Errorf("stats = %+v, want 10 admitted only", st)
+	}
+}

@@ -1,0 +1,235 @@
+package coord
+
+import (
+	"testing"
+	"time"
+
+	"sdf/internal/sim"
+)
+
+// TestRoundRobinGrantOrder: three members request windows at once; the
+// grants must walk registration order deterministically, and no two
+// windows may ever overlap.
+func TestRoundRobinGrantOrder(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	c := New(env, Config{Window: time.Millisecond, MaxWait: time.Second})
+	names := []string{"r1", "r2", "r3"}
+	var members []*Member
+	for _, n := range names {
+		members = append(members, c.Register(n))
+	}
+	var order []string
+	open := 0
+	for i, m := range members {
+		m, name := m, names[i]
+		env.Go("eraser."+name, func(p *sim.Proc) {
+			for k := 0; k < 3; k++ {
+				release, forced := m.AcquireErase(p, 10)
+				if forced {
+					t.Errorf("%s erase %d: forced hatch fired with a patient MaxWait", name, k)
+				}
+				open++
+				if open > 1 {
+					t.Fatalf("%s erase %d: two erase windows open at once", name, k)
+				}
+				order = append(order, name)
+				p.Wait(500 * time.Microsecond) // the erase itself
+				open--
+				release()
+			}
+		})
+	}
+	env.Run()
+	if len(order) != 9 {
+		t.Fatalf("got %d erases, want 9", len(order))
+	}
+	// All three request at t=0; the first grant goes to r1 (scan starts
+	// at member 0). Each 1 ms window fits two 500 µs erases (the second
+	// joins the open window), then the window rotates round-robin; the
+	// last round has one erase left per member.
+	want := []string{"r1", "r1", "r2", "r2", "r3", "r3", "r1", "r2", "r3"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("grant order %v, want %v", order, want)
+		}
+	}
+	st := c.Stats()
+	if st.Forced != 0 || st.Timeouts != 0 {
+		t.Errorf("stats %+v: no forced erases expected", st)
+	}
+	if st.Grants == 0 || st.Deferrals == 0 {
+		t.Errorf("stats %+v: want grants and deferrals", st)
+	}
+}
+
+// TestWindowJoin: erases of the holder issued while its window is open
+// join it without a second grant.
+func TestWindowJoin(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	c := New(env, Config{Window: 5 * time.Millisecond, MaxWait: time.Second})
+	m := c.Register("r1")
+	c.Register("r2") // idle peer: never requests
+	env.Go("eraser", func(p *sim.Proc) {
+		r1, _ := m.AcquireErase(p, 10)
+		p.Wait(time.Millisecond)
+		r2, forced := m.AcquireErase(p, 10) // window still open: join
+		if forced {
+			t.Error("join inside own window reported forced")
+		}
+		p.Wait(time.Millisecond)
+		r1()
+		r2()
+	})
+	env.Run()
+	if st := c.Stats(); st.Grants != 1 {
+		t.Errorf("grants = %d, want 1 (second erase joins the first window)", st.Grants)
+	}
+	if m.InWindow() {
+		t.Error("window still open after all releases and the close timer")
+	}
+}
+
+// TestForcedEraseOnLowFreePool: a member whose free pool is at the
+// floor must bypass a peer's window instead of waiting.
+func TestForcedEraseOnLowFreePool(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	c := New(env, Config{Window: 10 * time.Millisecond, MaxWait: time.Second, ForceFreeBlocks: 1})
+	m1 := c.Register("r1")
+	m2 := c.Register("r2")
+	env.Go("holder", func(p *sim.Proc) {
+		release, _ := m1.AcquireErase(p, 10)
+		p.Wait(8 * time.Millisecond)
+		release()
+	})
+	fired := false
+	env.Go("urgent", func(p *sim.Proc) {
+		p.Wait(time.Millisecond) // let r1 take the window
+		release, forced := m2.AcquireErase(p, 1)
+		fired = forced
+		if got := env.Now(); got != time.Millisecond {
+			t.Errorf("forced erase waited until %v; must not park", got)
+		}
+		release()
+	})
+	env.Run()
+	if !fired {
+		t.Fatal("free pool at floor did not trigger the forced hatch")
+	}
+	if st := c.Stats(); st.Forced != 1 || st.Timeouts != 0 {
+		t.Errorf("stats %+v: want exactly one forced, no timeouts", st)
+	}
+}
+
+// TestMaxWaitTimeoutForces: the starvation bound — a deferred request
+// older than MaxWait erases through the hatch.
+func TestMaxWaitTimeoutForces(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	c := New(env, Config{Window: time.Millisecond, MaxWait: 2 * time.Millisecond})
+	m1 := c.Register("r1")
+	m2 := c.Register("r2")
+	env.Go("hog", func(p *sim.Proc) {
+		// Holds the grant's release far past the window: the window
+		// cannot pass on until the erase drains.
+		release, _ := m1.AcquireErase(p, 10)
+		p.Wait(20 * time.Millisecond)
+		release()
+	})
+	var forced bool
+	var at time.Duration
+	env.Go("victim", func(p *sim.Proc) {
+		p.Wait(100 * time.Microsecond)
+		release, f := m2.AcquireErase(p, 10)
+		forced, at = f, env.Now()
+		release()
+	})
+	env.Run()
+	if !forced {
+		t.Fatal("starved request did not force through after MaxWait")
+	}
+	if want := 100*time.Microsecond + 2*time.Millisecond; at != want {
+		t.Errorf("forced at %v, want %v (request time + MaxWait)", at, want)
+	}
+	if st := c.Stats(); st.Timeouts != 1 {
+		t.Errorf("stats %+v: want exactly one timeout", st)
+	}
+}
+
+// TestSetLiveCancelsAndReleases: killing the window holder frees the
+// window for peers; killing a waiter wakes it without a window.
+func TestSetLiveCancelsAndReleases(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	c := New(env, Config{Window: 50 * time.Millisecond, MaxWait: time.Minute})
+	m1 := c.Register("r1")
+	m2 := c.Register("r2")
+	env.Go("holder", func(p *sim.Proc) {
+		release, _ := m1.AcquireErase(p, 10)
+		defer release()
+		p.Wait(time.Minute) // crash strikes mid-erase
+	})
+	var granted bool
+	env.Go("peer", func(p *sim.Proc) {
+		p.Wait(time.Millisecond)
+		release, forced := m2.AcquireErase(p, 10)
+		granted = !forced && env.Now() == 2*time.Millisecond
+		release()
+	})
+	env.Schedule(2*time.Millisecond, func() { m1.SetLive(false) })
+	env.RunUntil(3 * time.Minute)
+	if !granted {
+		t.Error("peer did not inherit the window at the holder's death")
+	}
+	if m1.InWindow() {
+		t.Error("dead member still marked in-window")
+	}
+}
+
+// TestDeterministicReplay: the full grant/force event sequence must be
+// identical across two seeded runs.
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []string {
+		env := sim.NewEnv()
+		defer env.Close()
+		c := New(env, Config{Window: time.Millisecond, MaxWait: 3 * time.Millisecond})
+		var log []string
+		for i, name := range []string{"a", "b", "c"} {
+			m := c.Register(name)
+			i, name := i, name
+			env.Go("eraser."+name, func(p *sim.Proc) {
+				p.Wait(time.Duration(i) * 100 * time.Microsecond)
+				for k := 0; k < 5; k++ {
+					free := 10
+					if k == 3 {
+						free = 1 // exercise the urgency hatch
+					}
+					release, forced := m.AcquireErase(p, free)
+					log = append(log, name, env.Now().String(), boolStr(forced))
+					p.Wait(700 * time.Microsecond)
+					release()
+				}
+			})
+		}
+		env.Run()
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("replay diverged: %d vs %d entries", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "t"
+	}
+	return "f"
+}

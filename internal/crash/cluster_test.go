@@ -2,6 +2,7 @@ package crash
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -11,6 +12,7 @@ import (
 	"sdf/internal/blocklayer"
 	"sdf/internal/ccdb"
 	"sdf/internal/cluster"
+	"sdf/internal/coord"
 	"sdf/internal/core"
 	"sdf/internal/fault"
 	"sdf/internal/sim"
@@ -124,6 +126,156 @@ func TestClusterPowerLossRemount(t *testing.T) {
 
 	// Only the remounted node survives; every key must be served from
 	// its recovered state, byte for byte.
+	group.CrashNode("n1")
+	group.CrashNode("n3")
+	keys := make([]string, 0, len(want))
+	for k := range want {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	reader := env.Go("reader", func(p *sim.Proc) {
+		for _, key := range keys {
+			got, _, err := group.Get(p, key)
+			if err != nil {
+				t.Errorf("read %s from remounted node: %v", key, err)
+				return
+			}
+			if !bytes.Equal(got, want[key]) {
+				t.Errorf("read %s from remounted node: wrong bytes", key)
+				return
+			}
+		}
+	})
+	env.RunUntilDone(reader)
+}
+
+// TestClusterPowerLossRemountCoordinated reruns the acknowledged-
+// durability oracle with the whole co-scheduling stack live: erase
+// windows behind a per-slice coordinator, SLO write admission control
+// in front of every Put, and static wear leveling migrating cold
+// blocks in the background. None of these may cost a byte: every
+// write the cluster acknowledged before the finale must be served,
+// byte for byte, from the replica that recovered through power loss.
+func TestClusterPowerLossRemountCoordinated(t *testing.T) {
+	cfg := DefaultConfig(3)
+	env := sim.NewEnv()
+	defer env.Close()
+	inj := fault.NewInjector(env)
+	co := coord.New(env, coord.Config{
+		Window:          2 * time.Millisecond,
+		MaxWait:         20 * time.Millisecond,
+		ForceFreeBlocks: 1,
+	})
+
+	names := []string{"n1", "n2", "n3"}
+	var nodes []*cluster.Node
+	for _, name := range names {
+		dev, err := core.New(env, cfg.devConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		member := co.Register(name)
+		blCfg := blocklayer.DefaultConfig()
+		blCfg.EraseGate = member
+		blCfg.StaticWL = true
+		blCfg.WearSpreadThreshold = 4
+		journal := ccdb.NewJournal()
+		layer := blocklayer.New(env, dev, blCfg)
+		slice := ccdb.NewSlice(env, ccdb.NewSDFStore(layer), cfg.sliceConfig(journal))
+		node := cluster.NewNode(env, name, slice)
+		node.SetWindow(member)
+		holder := dev
+		node.SetPowerHooks(
+			func() {
+				holder.PowerLoss()
+				journal.Halt()
+			},
+			func(p *sim.Proc) (*ccdb.Slice, error) {
+				mounted, err := core.Mount(env, cfg.devConfig(), holder.State())
+				if err != nil {
+					return nil, err
+				}
+				// The remounted layer rejoins the same erase-window
+				// membership and keeps wear leveling on.
+				l, _, err := blocklayer.Mount(p, env, mounted, blCfg)
+				if err != nil {
+					return nil, err
+				}
+				s, _, err := ccdb.MountSlice(p, env, ccdb.NewSDFStore(l), cfg.sliceConfig(journal))
+				if err != nil {
+					return nil, err
+				}
+				holder = mounted
+				return s, nil
+			},
+		)
+		nodes = append(nodes, node)
+	}
+	ccfg := cluster.DefaultConfig()
+	// A rate well above the offered load: the oracle checks that the
+	// admission path (token accounting, best-effort degradation while
+	// a replica is down) is durability-neutral, not that it throttles.
+	ccfg.Admission = coord.NewAdmission(env, coord.DefaultAdmissionConfig(2000), func() float64 { return 0 })
+	group, err := cluster.NewGroup(env, ccfg, nodes...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.AttachGroup(inj, group)
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	want := make(map[string][]byte)
+	preload := env.Go("preload", func(p *sim.Proc) {
+		for i := 0; i < 16; i++ {
+			key := fmt.Sprintf("k%03d", i)
+			val := make([]byte, cfg.ValueBytes)
+			rng.Read(val)
+			if err := group.Put(p, key, val, len(val)); err != nil {
+				t.Errorf("preload %s: %v", key, err)
+				return
+			}
+			want[key] = val
+		}
+	})
+	env.RunUntilDone(preload)
+
+	pl := &fault.Plan{Seed: cfg.Seed, Injections: []fault.Injection{
+		{At: 10 * time.Millisecond, Kind: fault.Powerloss, Target: "n2", Duration: 20 * time.Millisecond},
+	}}
+	if err := pl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Arm(pl); err != nil {
+		t.Fatal(err)
+	}
+
+	// Writes spanning the outage. Only acknowledged writes join the
+	// oracle: with admission control in the path a Put can now also be
+	// shed, and a shed write is not durable anywhere by design.
+	writer := env.Go("writer", func(p *sim.Proc) {
+		for i := 0; env.Now() < 60*time.Millisecond; i++ {
+			key := fmt.Sprintf("w%03d", i)
+			val := make([]byte, cfg.ValueBytes)
+			rng.Read(val)
+			if err := group.Put(p, key, val, len(val)); err == nil || !errors.Is(err, cluster.ErrWriteShed) {
+				want[key] = val
+			}
+			p.Wait(2 * time.Millisecond)
+		}
+	})
+	env.RunUntilDone(writer)
+	env.Run() // drain the restart, remount, and re-replication
+
+	st := group.Stats()
+	if st.Remounts != 1 || st.FailedRemounts != 0 {
+		t.Fatalf("remounts = %d, failed = %d, want 1 and 0", st.Remounts, st.FailedRemounts)
+	}
+	if !nodes[1].Alive() {
+		t.Fatal("n2 did not come back")
+	}
+	if cs := co.Stats(); cs.Grants == 0 {
+		t.Errorf("coordinator stats %+v: the gated erasers never took a window", cs)
+	}
+
 	group.CrashNode("n1")
 	group.CrashNode("n3")
 	keys := make([]string, 0, len(want))

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// codesignObs fetches the CoDesign observability payload or fails.
+func codesignObs(t *testing.T, tab Table) *Observability {
+	t.Helper()
+	if tab.Observability == nil {
+		t.Fatal("CoDesign with Options.Metrics produced no observability payload")
+	}
+	return tab.Observability
+}
+
+// TestCoDesignSeparation checks the experiment's headline claims at
+// equal offered load (the acceptance bar for the co-scheduling work):
+// coordination measurably improves the SDF read tail, throughput stays
+// matched across the compared clusters, the protocol never falls back
+// to forced erases in the steady-state run, and the chaos stage loses
+// no acknowledged data.
+func TestCoDesignSeparation(t *testing.T) {
+	tab := CoDesign(Options{Quick: true})
+	m := tab.Metrics
+	need := []string{
+		"coord.p99_ms", "nocoord.p99_ms", "gen3.p99_ms",
+		"coord.reads_per_s", "nocoord.reads_per_s", "gen3.reads_per_s",
+		"coord.window_grants", "coord.window_deprioritized", "coord.forced",
+		"chaos.lost", "chaos.floor", "chaos.best_effort",
+	}
+	for _, k := range need {
+		if _, ok := m[k]; !ok {
+			t.Fatalf("table is missing metric %q (have %d metrics)", k, len(m))
+		}
+	}
+	if m["coord.p99_ms"] >= m["nocoord.p99_ms"] {
+		t.Errorf("coordination did not improve read p99: coord %.3fms vs nocoord %.3fms",
+			m["coord.p99_ms"], m["nocoord.p99_ms"])
+	}
+	// Open-loop paced readers: an apples-to-apples tail comparison is
+	// only valid when all clusters absorbed the same read rate.
+	base := m["coord.reads_per_s"]
+	for _, k := range []string{"nocoord.reads_per_s", "gen3.reads_per_s"} {
+		if skew := math.Abs(m[k]-base) / base; skew > 0.15 {
+			t.Errorf("%s=%.0f skews %.0f%% from coord=%.0f — tails are not comparable",
+				k, m[k], skew*100, base)
+		}
+	}
+	if m["coord.window_grants"] == 0 {
+		t.Error("coordinator granted no erase windows — the mechanism never engaged")
+	}
+	if m["coord.window_deprioritized"] == 0 {
+		t.Error("no reads were routed around erase windows")
+	}
+	if m["coord.forced"] != 0 {
+		t.Errorf("%.0f forced erases in the steady-state run: the window rotation is starving members", m["coord.forced"])
+	}
+	if m["chaos.lost"] != 0 {
+		t.Errorf("chaos stage lost %.0f acknowledged reads", m["chaos.lost"])
+	}
+	if m["chaos.floor"] <= 0 {
+		t.Errorf("chaos availability floor %.0f: the cluster went fully dark", m["chaos.floor"])
+	}
+	if m["chaos.best_effort"] == 0 {
+		t.Error("chaos never degraded admission to best-effort despite replica kills")
+	}
+}
+
+// TestCoDesignObservabilityDeterministic reruns the experiment with
+// the metrics pipeline on and requires byte-identical exports — the
+// same contract make codesign-smoke enforces through sdfbench.
+func TestCoDesignObservabilityDeterministic(t *testing.T) {
+	opts := Options{Quick: true, Metrics: true}
+	a := codesignObs(t, CoDesign(opts))
+	b := codesignObs(t, CoDesign(opts))
+	if a.SnapshotSHA256 != b.SnapshotSHA256 {
+		t.Errorf("snapshot hash changed across reruns: %s vs %s", a.SnapshotSHA256, b.SnapshotSHA256)
+	}
+	if a.SeriesSHA256 != b.SeriesSHA256 {
+		t.Errorf("series hash changed across reruns: %s vs %s", a.SeriesSHA256, b.SeriesSHA256)
+	}
+	if string(a.Snapshot) != string(b.Snapshot) {
+		t.Error("prometheus snapshots differ byte-for-byte across reruns")
+	}
+	if string(a.Series) != string(b.Series) {
+		t.Error("series JSONL differs byte-for-byte across reruns")
+	}
+	if len(a.SLO) == 0 || len(a.SLO) != len(b.SLO) {
+		t.Fatalf("SLO report lengths: %d vs %d", len(a.SLO), len(b.SLO))
+	}
+	for i := range a.SLO {
+		if a.SLO[i] != b.SLO[i] {
+			t.Errorf("SLO result %d changed across reruns:\n  %v\n  %v", i, a.SLO[i], b.SLO[i])
+		}
+	}
+	if a.Alerts != b.Alerts {
+		t.Errorf("alert counts differ: %d vs %d", a.Alerts, b.Alerts)
+	}
+	if !strings.Contains(string(a.Snapshot), "cluster_admission_delayed_writes_total") {
+		t.Error("snapshot is missing cluster_admission_delayed_writes_total")
+	}
+	if !strings.Contains(string(a.Series), "cluster_read_latency_seconds") {
+		t.Error("series JSONL is missing the read-latency histogram")
+	}
+}
+
+// TestCoDesignUnderParallelRunner runs CoDesign alone and alongside
+// other experiments on a worker pool; its observability hashes must
+// not depend on scheduling neighbors.
+func TestCoDesignUnderParallelRunner(t *testing.T) {
+	var mu sync.Mutex
+	var snaps, series []string
+	entry := Entry{Name: "codesign", Run: func(o Options) Table {
+		o.Metrics = true
+		tab := CoDesign(o)
+		obs := codesignObs(t, tab)
+		mu.Lock()
+		snaps = append(snaps, obs.SnapshotSHA256)
+		series = append(series, obs.SeriesSHA256)
+		mu.Unlock()
+		return tab
+	}}
+	others := subsetEntries(t)[:3]
+	opts := Options{Quick: true}
+	RunAll([]Entry{entry}, opts, 1)
+	RunAll(append([]Entry{entry}, others...), opts, 4)
+	if len(snaps) != 2 {
+		t.Fatalf("expected 2 metered runs, got %d", len(snaps))
+	}
+	if snaps[0] != snaps[1] {
+		t.Errorf("snapshot hash changed under the parallel runner: %s vs %s", snaps[0], snaps[1])
+	}
+	if series[0] != series[1] {
+		t.Errorf("series hash changed under the parallel runner: %s vs %s", series[0], series[1])
+	}
+}

@@ -38,6 +38,7 @@ func Registry() []Entry {
 		{"activescan", "future work: in-storage filtered scan", FutureWorkActiveScan},
 		{"faults", "availability under injected faults", Faults},
 		{"recovery", "mount-time recovery scan vs fill level", Recovery},
+		{"codesign", "deadline-aware erase/write co-scheduling", CoDesign},
 	}
 }
 

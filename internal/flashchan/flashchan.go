@@ -925,3 +925,25 @@ func (ch *Channel) Wear() WearStats {
 	}
 	return stats
 }
+
+// LBNWear reports the mean erase count of the physical blocks
+// currently mapped for logical block lbn, and whether the LBN is
+// mapped at all. Static wear leveling uses it to find the coldest
+// mapped block on a channel: data parked on low-erase-count media
+// keeps those blocks out of circulation until it is migrated off.
+func (ch *Channel) LBNWear(lbn int) (int, bool) {
+	total, n := 0, 0
+	for i := range ch.planes {
+		ps := &ch.planes[i]
+		phys, ok := ps.mapping[lbn]
+		if !ok {
+			continue
+		}
+		total += ps.plane.EraseCount(phys)
+		n++
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return total / n, true
+}

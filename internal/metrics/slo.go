@@ -187,6 +187,28 @@ func (s *SLO) violate(st *objState, now time.Duration, v float64) {
 // Alerts returns every violation event in emission order.
 func (s *SLO) Alerts() []Alert { return s.alerts }
 
+// Burn returns the named objective's error-budget burn so far:
+// (violations/windows)/budget, the same number Report computes at the
+// end of the run, read incrementally. Feedback loops (write admission
+// control) poll it to convert SLO pressure into backpressure. Unknown
+// or not-yet-evaluated objectives read 0. Park-free.
+func (s *SLO) Burn(name string) float64 {
+	for _, st := range s.states {
+		if st.obj.Name != name {
+			continue
+		}
+		if st.windows == 0 || st.violations == 0 {
+			return 0
+		}
+		frac := float64(st.violations) / float64(st.windows)
+		if st.obj.Budget > 0 {
+			return frac / st.obj.Budget
+		}
+		return frac
+	}
+	return 0
+}
+
 // Report returns each objective's outcome in declaration order. An
 // objective with no evaluated windows is trivially met (burn 0).
 func (s *SLO) Report() []ObjectiveResult {

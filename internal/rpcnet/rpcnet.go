@@ -219,10 +219,20 @@ func (c *Client) Call(p *sim.Proc, reqBytes int, batch []SubRequest) int {
 // deadline budget lasts. With LossRate 0 it is exactly one Call.
 // It returns the total response bytes.
 func (c *Client) Do(p *sim.Proc, reqBytes int, batch []SubRequest) (int, error) {
+	return c.DoBudget(p, reqBytes, batch, c.net.cfg.DeadlineBudget)
+}
+
+// DoBudget is Do with an explicit per-request deadline budget,
+// overriding the network-wide Config.DeadlineBudget. Deadline-aware
+// callers (cluster read routing) use it to carry one read's
+// virtual-time deadline through the loss-recovery loop: every retry
+// decrements the original budget. A budget of 0 retries without
+// bound.
+func (c *Client) DoBudget(p *sim.Proc, reqBytes int, batch []SubRequest, budget time.Duration) (int, error) {
 	n := c.net
 	var deadline time.Duration
-	if n.cfg.DeadlineBudget > 0 {
-		deadline = n.env.Now() + n.cfg.DeadlineBudget
+	if budget > 0 {
+		deadline = n.env.Now() + budget
 	}
 	backoff := n.cfg.RetryBackoff
 	for {
@@ -230,8 +240,10 @@ func (c *Client) Do(p *sim.Proc, reqBytes int, batch []SubRequest) (int, error) 
 			return c.Call(p, reqBytes, batch), nil
 		}
 		// The request vanished on the wire: the client pays for the
-		// send and waits the full timeout for a response that never
-		// comes.
+		// send and waits for a response that never comes. The timeout
+		// is capped at the request's remaining deadline budget — a
+		// retry must never re-arm a fresh RequestTimeout that would
+		// carry the total past the original deadline.
 		n.drops++
 		t := n.env.Tracer()
 		span := t.Begin(n.env.Now(), p.Span(), "rpc/loss", trace.PhaseFault)
@@ -239,7 +251,13 @@ func (c *Client) Do(p *sim.Proc, reqBytes int, batch []SubRequest) (int, error) 
 		if reqBytes > 0 {
 			c.nic.Transfer(p, reqBytes)
 		}
-		p.Wait(n.cfg.RequestTimeout)
+		timeout := n.cfg.RequestTimeout
+		if deadline > 0 && timeout > deadline-n.env.Now() {
+			timeout = deadline - n.env.Now()
+		}
+		if timeout > 0 {
+			p.Wait(timeout)
+		}
 		t.End(n.env.Now(), span)
 		if deadline > 0 && n.env.Now()+backoff >= deadline {
 			n.deadlines++

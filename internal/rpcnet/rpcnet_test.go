@@ -201,3 +201,34 @@ func TestRPCOverheadCharged(t *testing.T) {
 		t.Fatalf("elapsed = %v, want 100µs", elapsed)
 	}
 }
+
+// TestRetryTimeoutCappedByDeadline is the regression test for the
+// retry deadline-accounting fix: each lost attempt's RequestTimeout
+// must be capped at the remaining deadline budget, never re-armed in
+// full. With a 15 ms budget, a 10 ms timeout, and total loss, the old
+// accounting waited 10 ms + 2 ms backoff + 10 ms ≈ 22 ms before giving
+// up — past the caller's deadline. The fixed loop truncates the second
+// wait so the call returns within the budget.
+func TestRetryTimeoutCappedByDeadline(t *testing.T) {
+	env := sim.NewEnv()
+	cfg := fastConfig()
+	cfg.LossRate = 1
+	cfg.Seed = 11
+	cfg.RequestTimeout = 10 * time.Millisecond
+	cfg.RetryBackoff = 2 * time.Millisecond
+	n := NewNetwork(env, cfg)
+	c := n.NewClient()
+	const budget = 15 * time.Millisecond
+	w := env.Go("t", func(p *sim.Proc) {
+		start := env.Now()
+		_, err := c.DoBudget(p, 0, nil, budget)
+		if !errors.Is(err, ErrDeadlineExceeded) {
+			t.Errorf("DoBudget under total loss: %v, want ErrDeadlineExceeded", err)
+		}
+		if elapsed := env.Now() - start; elapsed > budget {
+			t.Errorf("DoBudget spent %v, deadline budget was %v: retries re-armed the timeout", elapsed, budget)
+		}
+	})
+	env.RunUntilDone(w)
+	env.Close()
+}

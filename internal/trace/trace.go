@@ -104,6 +104,11 @@ const (
 	// It is kept distinct from PhaseFault so the breakdown separates
 	// the cost of coming back from the cost of being degraded.
 	PhaseRecovery = "recovery"
+	// PhaseCoord is co-scheduling time (DESIGN.md §16): granted erase
+	// windows, forced-erase hatches, and admission-control delays. A
+	// separate phase so the breakdown can tell time spent coordinating
+	// from time lost to faults.
+	PhaseCoord = "coord"
 )
 
 // SpanID identifies a span; 0 means "no span" (used as the parent of
